@@ -1,0 +1,26 @@
+//! Textbook cache-timing attacks, attack classification, the covert-channel
+//! timing model and search baselines for the AutoCAT reproduction.
+//!
+//! * [`textbook`] — scripted prime+probe / flush+reload / evict+reload
+//!   agents that play the guessing game the way the literature describes
+//!   them (the paper's "textbook" baselines in Tables VIII & IX).
+//! * [`lru`] — the LRU set-based and address-based attacks (HPCA 2020) used
+//!   in Fig. 4 and as the covert-channel baseline.
+//! * [`stealthy`] — the Streamline and StealthyStreamline sequences
+//!   (Fig. 4), generalized to arbitrary associativity and 2-/3-bit symbols.
+//! * [`classify`] — the heuristic attack-sequence classifier automating the
+//!   paper's manual "attack analysis" step (Sec. IV-D).
+//! * [`channel`] — the cycle-level covert-channel model regenerating
+//!   Table X and Fig. 5 (bit rate vs error rate on simulated machines).
+//! * [`search`] — the brute-force/RL search-cost comparison of Sec. VI-A.
+
+pub mod channel;
+pub mod classify;
+pub mod lru;
+pub mod search;
+pub mod stealthy;
+pub mod textbook;
+
+pub use channel::{ChannelKind, CovertChannelModel, MachineModel, OperatingPoint};
+pub use classify::{classify_sequence, AttackCategory};
+pub use textbook::{ScriptedAttacker, TextbookFlushReload, TextbookPrimeProbe};

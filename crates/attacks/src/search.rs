@@ -1,0 +1,135 @@
+//! Search-cost comparison: RL vs brute force (paper Sec. VI-A).
+//!
+//! The paper derives that a blind search finds one prime+probe sequence per
+//! `M = 2(N+1)^(2N+1) / (N!)²` candidate sequences on an `N`-way set, i.e.
+//! `M ~ e^(2N)`, while the RL agent converges within ~1M steps for `N = 8`.
+
+use autocat_gym::{CacheGuessingGame, EnvConfig, Environment};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// `M = 2 (N+1)^(2N+1) / (N!)²` — expected candidate sequences per success.
+pub fn brute_force_m(n: u32) -> f64 {
+    let n_f = n as f64;
+    let mut log_m = (2.0f64).ln() + (2.0 * n_f + 1.0) * (n_f + 1.0).ln();
+    for k in 1..=n {
+        log_m -= 2.0 * (k as f64).ln();
+    }
+    log_m.exp()
+}
+
+/// Expected brute-force *steps* (each candidate costs `2N + 2` steps).
+pub fn brute_force_steps(n: u32) -> f64 {
+    brute_force_m(n) * (2.0 * n as f64 + 2.0)
+}
+
+/// Result of an empirical random-search run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RandomSearchResult {
+    /// Environment steps consumed before a reliable sequence was found.
+    pub steps: u64,
+    /// Whether a sequence was found within the budget.
+    pub found: bool,
+}
+
+/// Empirical random search: samples random action sequences of length
+/// `2N + 2` on the prime+probe game and counts steps until one sequence
+/// guesses correctly on `trials` consecutive random secrets (a
+/// distinguishing sequence, not a lucky one).
+///
+/// Tractable only for small `N`; the analytic formula covers the rest.
+pub fn random_search(
+    env_config: &EnvConfig,
+    ways: u32,
+    trials: usize,
+    budget_steps: u64,
+    rng: &mut StdRng,
+) -> RandomSearchResult {
+    let mut env = CacheGuessingGame::new(env_config.clone()).expect("valid config");
+    let num_actions = env.num_actions();
+    let seq_len = (2 * ways + 2) as usize;
+    let mut steps = 0u64;
+    while steps < budget_steps {
+        // Sample a random open-loop candidate: actions for every step, plus
+        // a latency-conditioned guess read off the final observation is NOT
+        // allowed here — blind search has no adaptivity, exactly the
+        // paper's point.
+        let candidate: Vec<usize> =
+            (0..seq_len).map(|_| rng.gen_range(0..num_actions)).collect();
+        let mut all_correct = true;
+        for _ in 0..trials {
+            env.reset(rng);
+            let mut correct = false;
+            for &a in &candidate {
+                let r = env.step(a, rng);
+                steps += 1;
+                if r.done {
+                    correct = r.info.guessed == Some(true);
+                    break;
+                }
+            }
+            if !correct {
+                all_correct = false;
+                break;
+            }
+        }
+        if all_correct {
+            return RandomSearchResult { steps, found: true };
+        }
+    }
+    RandomSearchResult { steps, found: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn m_matches_paper_for_n8() {
+        // The paper: for N = 8, M ≈ 2.05 × 10^7.
+        let m = brute_force_m(8);
+        assert!(
+            (m / 2.05e7 - 1.0).abs() < 0.02,
+            "M(8) = {m:.3e}, paper says 2.05e7"
+        );
+    }
+
+    #[test]
+    fn steps_match_paper_for_n8() {
+        // "it takes about 369 million steps to find an attack" (M · (2N+2)).
+        let steps = brute_force_steps(8);
+        assert!(
+            (steps / 3.69e8 - 1.0).abs() < 0.02,
+            "steps(8) = {steps:.3e}, paper says 3.69e8"
+        );
+    }
+
+    #[test]
+    fn m_grows_exponentially() {
+        // M ~ e^{2N}: the ratio M(N+1)/M(N) approaches e² ≈ 7.39.
+        let ratio = brute_force_m(10) / brute_force_m(9);
+        assert!(ratio > 6.0 && ratio < 9.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn random_search_finds_tiny_config() {
+        // 1-way direct-mapped config 1-style game is small enough for blind
+        // search.
+        let mut cfg = EnvConfig::prime_probe_dm4();
+        cfg.window_size = 8;
+        let mut rng = StdRng::seed_from_u64(7);
+        let result = random_search(&cfg, 1, 4, 3_000_000, &mut rng);
+        assert!(result.found, "random search must crack the 4-set DM game");
+        assert!(result.steps > 0);
+    }
+
+    #[test]
+    fn random_search_respects_budget() {
+        let cfg = EnvConfig::replacement_study(autocat_cache::PolicyKind::Lru);
+        let mut rng = StdRng::seed_from_u64(8);
+        let result = random_search(&cfg, 4, 20, 5_000, &mut rng);
+        assert!(!result.found || result.steps <= 5_100);
+        assert!(result.steps <= 6_000);
+    }
+}

@@ -1,0 +1,306 @@
+//! Streamline and StealthyStreamline (paper Sec. V-D / V-E, Fig. 4).
+//!
+//! StealthyStreamline was discovered by AutoCAT's RL agent and then
+//! generalized by the authors: it overlaps several LRU address-based
+//! sub-attacks (Streamline-style) so consecutive symbols share accesses,
+//! transmits multiple bits per iteration, and — unlike prime+probe — never
+//! causes a victim cache miss (the victim's access always hits a resident
+//! line), which evades miss-count detection.
+//!
+//! Decoding is calibrated *empirically*: the iteration is run against the
+//! actual cache model once per possible secret and the measured hit/miss
+//! signatures form the decode table, exactly like the calibration phase of
+//! the real-machine attack. Signature collisions (e.g. the 3-bit variant on
+//! a PLRU tree, which the paper reports as high-error) surface as reduced
+//! distinguishable-symbol counts.
+
+use crate::lru::{measure, run_iteration, LruIteration};
+use autocat_cache::{Cache, CacheConfig, Domain, PolicyKind};
+use std::collections::HashMap;
+
+/// A StealthyStreamline channel over one cache set.
+#[derive(Clone, Debug)]
+pub struct StealthyStreamline {
+    /// Set associativity.
+    pub ways: usize,
+    /// Replacement policy of the target set.
+    pub policy: PolicyKind,
+    /// Symbol width in bits (2 or 3 in the paper).
+    pub bits: usize,
+    iteration: LruIteration,
+}
+
+impl StealthyStreamline {
+    /// Builds the channel for a `ways`-way set transmitting `bits`-bit
+    /// symbols.
+    ///
+    /// The iteration measures the `2^bits` shared lines (their latency at
+    /// the start of the next round is the previous round's signature — the
+    /// Streamline overlap), then fills the remaining ways plus one evictor
+    /// line ("adding extra accesses to the cache lines that map to the same
+    /// cache set", Sec. V-E). Per the paper's arithmetic this gives 10
+    /// accesses with 4 measured on an 8-way set, 14-with-4 on a 12-way set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `2^bits + 1 > ways + 1` (the symbol lines plus evictor
+    /// must fit the set pressure model) or `bits == 0`.
+    pub fn new(ways: usize, policy: PolicyKind, bits: usize) -> Self {
+        assert!(bits > 0, "bits must be positive");
+        let symbols = 1usize << bits;
+        assert!(symbols <= ways, "2^bits symbol lines must fit in the set");
+        // Measured symbol lines 0..2^bits, then unmeasured filler lines up
+        // to `ways`, then one evictor line (total ways+1 distinct lines so
+        // each iteration evicts exactly one).
+        let measured: Vec<u64> = (0..symbols as u64).collect();
+        // The victim's slot comes right after the symbol lines are touched,
+        // so its line is always resident (no victim misses — the
+        // stealthiness property). Fillers restore set pressure, then ONE
+        // evictor line is brought in (evicting the replacement-state loser,
+        // which encodes the secret) and re-touched once to pin its recency.
+        // The measurement at the next iteration's head then cascades
+        // refills, which spreads the single eviction into a per-symbol
+        // distinct hit/miss signature. Total accesses: 10 on 8-way, 14 on
+        // 12-way with 4 timed — the paper's Sec. V-E arithmetic.
+        let mut post_victim: Vec<u64> = (symbols as u64..ways as u64).collect();
+        post_victim.push(ways as u64);
+        post_victim.push(ways as u64);
+        Self {
+            ways,
+            policy,
+            bits,
+            iteration: LruIteration {
+                pre_victim: measured.clone(),
+                post_victim,
+                measured,
+            },
+        }
+    }
+
+    /// The per-iteration access structure.
+    pub fn iteration(&self) -> &LruIteration {
+        &self.iteration
+    }
+
+    /// Total attacker accesses per iteration (10 for 8-way 2-bit, 14 for
+    /// 12-way 2-bit, matching the paper).
+    pub fn accesses_per_iteration(&self) -> usize {
+        self.iteration.total_accesses()
+    }
+
+    /// Timed accesses per iteration (4 for the 2-bit variant).
+    pub fn measured_per_iteration(&self) -> usize {
+        self.iteration.measured_accesses()
+    }
+
+    fn fresh_cache(&self) -> Cache {
+        Cache::new(CacheConfig::fully_associative(self.ways).with_policy(self.policy))
+    }
+
+    /// Calibrates the decode table: maps each measured hit/miss signature
+    /// to the symbol that produced it. Runs each symbol in steady state
+    /// (two warm-up iterations) like a real calibration phase.
+    pub fn calibrate(&self) -> HashMap<Vec<bool>, u64> {
+        // The measurement pass itself re-touches every symbol line in
+        // order, which drives the set into a canonical state — so one
+        // warm-up iteration *followed by a discarded measurement* puts the
+        // calibration cache in exactly the state every mid-stream iteration
+        // starts from, making the signatures context-free.
+        let mut table = HashMap::new();
+        for symbol in 0..(1u64 << self.bits) {
+            let mut cache = self.fresh_cache();
+            run_iteration(&mut cache, &self.iteration, Some(0));
+            let _ = measure(&mut cache, &self.iteration);
+            run_iteration(&mut cache, &self.iteration, Some(symbol));
+            let signature = measure(&mut cache, &self.iteration);
+            table.entry(signature).or_insert(symbol);
+        }
+        table
+    }
+
+    /// Number of symbols the calibrated channel can actually distinguish.
+    pub fn distinguishable_symbols(&self) -> usize {
+        self.calibrate().len()
+    }
+
+    /// Transmits a symbol sequence through a live cache, decoding each via
+    /// the calibration table; returns the decoded symbols.
+    ///
+    /// `flip` optionally injects measurement noise: called per measured
+    /// access, returning whether that observation flips.
+    pub fn transmit(
+        &self,
+        symbols: &[u64],
+        mut flip: impl FnMut() -> bool,
+    ) -> Vec<Option<u64>> {
+        let table = self.calibrate();
+        let mut cache = self.fresh_cache();
+        // Warm up into the canonical post-measurement state.
+        run_iteration(&mut cache, &self.iteration, Some(0));
+        let _ = measure(&mut cache, &self.iteration);
+        let mut decoded = Vec::with_capacity(symbols.len());
+        for &s in symbols {
+            // One iteration transmits the symbol; the measurement at the
+            // head of the next round (streamline overlap) reads it back and
+            // simultaneously restores the canonical state.
+            run_iteration(&mut cache, &self.iteration, Some(s));
+            let mut sig = measure(&mut cache, &self.iteration);
+            for b in sig.iter_mut() {
+                if flip() {
+                    *b = !*b;
+                }
+            }
+            decoded.push(table.get(&sig).copied());
+        }
+        decoded
+    }
+
+    /// Symbol error rate over a random message of `len` symbols with
+    /// measurement flip probability `flip_prob`.
+    pub fn symbol_error_rate(&self, len: usize, flip_prob: f64, seed: u64) -> f64 {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let symbols: Vec<u64> =
+            (0..len).map(|_| rng.gen_range(0..(1u64 << self.bits))).collect();
+        let mut noise = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(1));
+        let decoded = self.transmit(&symbols, || noise.gen_bool(flip_prob));
+        let errors = symbols
+            .iter()
+            .zip(decoded.iter())
+            .filter(|(s, d)| d.map(|d| d != **s).unwrap_or(true))
+            .count();
+        errors as f64 / len as f64
+    }
+
+    /// Checks the stealthiness property: the victim never misses.
+    pub fn victim_misses_during(&self, symbols: &[u64]) -> u64 {
+        let mut cache = self.fresh_cache();
+        run_iteration(&mut cache, &self.iteration, Some(0));
+        let _ = measure(&mut cache, &self.iteration);
+        let before = cache.stats().victim_misses;
+        for &s in symbols {
+            run_iteration(&mut cache, &self.iteration, Some(s));
+            let _ = measure(&mut cache, &self.iteration);
+        }
+        cache.stats().victim_misses - before
+    }
+}
+
+/// The original (non-stealthy) Streamline attack: a flush-less covert
+/// channel that streams through a large buffer, encoding bits as
+/// present/absent lines. Modelled here only for access-count comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Streamline {
+    /// Lines touched per transmitted bit.
+    pub accesses_per_bit: usize,
+}
+
+impl Streamline {
+    /// The paper's ASPLOS 2021 configuration: one access per bit for the
+    /// sender and one timed access per bit for the receiver.
+    pub fn paper() -> Self {
+        Self { accesses_per_bit: 2 }
+    }
+}
+
+/// A victim access in Streamline misses (it loads fresh lines), which is
+/// what miss-count detectors catch and StealthyStreamline avoids.
+pub fn streamline_causes_victim_misses(ways: usize) -> bool {
+    let mut cache = Cache::new(CacheConfig::fully_associative(ways));
+    // Streamline's sender touches fresh lines each round.
+    let mut missed = false;
+    for round in 0..4u64 {
+        let fresh = 1000 + round;
+        missed |= !cache.access(fresh, Domain::Victim).hit;
+    }
+    missed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_access_counts_match_paper() {
+        // Paper Sec. V-E: "4 out of 10 for the 8-way cache vs. 4 out of 14
+        // for the 12-way cache" accesses need to be measured.
+        let ss8 = StealthyStreamline::new(8, PolicyKind::Plru, 2);
+        assert_eq!(ss8.accesses_per_iteration(), 10);
+        assert_eq!(ss8.measured_per_iteration(), 4);
+        let ss12 = StealthyStreamline::new(12, PolicyKind::Plru, 2);
+        assert_eq!(ss12.accesses_per_iteration(), 14);
+        assert_eq!(ss12.measured_per_iteration(), 4);
+    }
+
+    #[test]
+    fn two_bit_distinguishes_four_symbols_on_lru() {
+        for ways in [4, 8, 12] {
+            let ss = StealthyStreamline::new(ways, PolicyKind::Lru, 2);
+            assert_eq!(ss.distinguishable_symbols(), 4, "2-bit SS must separate 4 symbols on {ways}-way LRU");
+        }
+    }
+
+    #[test]
+    fn three_bit_distinguishes_eight_symbols_on_lru() {
+        for ways in [8, 12] {
+            let ss = StealthyStreamline::new(ways, PolicyKind::Lru, 3);
+            assert_eq!(ss.distinguishable_symbols(), 8);
+        }
+    }
+
+    #[test]
+    fn plru_tree_degrades_the_channel() {
+        // The paper's real-machine attack needs PLRU-specific sequence
+        // tuning it does not publish; our generic LRU-state sequence loses
+        // symbols on a tree-PLRU set (and the paper itself reports the
+        // 3-bit variant has high error "due to the tree structure in
+        // PLRU"). The channel model therefore runs on true LRU.
+        let ss = StealthyStreamline::new(8, PolicyKind::Plru, 2);
+        assert!(ss.distinguishable_symbols() < 4);
+    }
+
+    #[test]
+    fn noiseless_transmission_is_error_free() {
+        let ss = StealthyStreamline::new(8, PolicyKind::Lru, 2);
+        let err = ss.symbol_error_rate(200, 0.0, 3);
+        assert_eq!(err, 0.0, "noiseless channel must decode perfectly");
+    }
+
+    #[test]
+    fn noise_raises_error_rate() {
+        let ss = StealthyStreamline::new(8, PolicyKind::Lru, 2);
+        let err = ss.symbol_error_rate(300, 0.05, 4);
+        assert!(err > 0.02, "5% flips must cause visible symbol errors, got {err}");
+        assert!(err < 0.5);
+    }
+
+    #[test]
+    fn victim_never_misses_stealthiness() {
+        for policy in [PolicyKind::Lru, PolicyKind::Plru] {
+            let ss = StealthyStreamline::new(8, policy, 2);
+            assert_eq!(ss.victim_misses_during(&[0, 1, 2, 3, 2, 1]), 0, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn streamline_by_contrast_misses() {
+        assert!(streamline_causes_victim_misses(8));
+    }
+
+    #[test]
+    fn three_bit_on_plru_loses_symbols() {
+        // The paper observes the 3-bit variant has a high error rate on
+        // PLRU due to the tree structure; in our model this appears as
+        // signature collisions (fewer than 8 distinguishable symbols) or a
+        // much higher error rate than the 2-bit variant.
+        let ss3 = StealthyStreamline::new(12, PolicyKind::Plru, 3);
+        let d3 = ss3.distinguishable_symbols();
+        assert!(d3 < 8, "3-bit on PLRU must lose symbols, got {d3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit in the set")]
+    fn too_many_bits_panics() {
+        let _ = StealthyStreamline::new(4, PolicyKind::Lru, 3);
+    }
+}

@@ -1,0 +1,350 @@
+//! Scripted textbook attack agents (the paper's baselines).
+//!
+//! These agents play the guessing game exactly the way the literature's
+//! for-loop attacks do: prime every line, trigger, probe every line, guess.
+//! They serve as the "textbook" rows of Tables VIII and IX and as sanity
+//! oracles that a configuration is attackable at all.
+
+use autocat_gym::obs::Latency;
+use autocat_gym::{Action, EnvConfig};
+
+/// A deterministic scripted attacker: a state machine choosing the next
+/// action from the last observation.
+pub trait ScriptedAttacker {
+    /// Resets the state machine for a fresh secret.
+    fn begin(&mut self);
+    /// Chooses the next action given the latency observed for the previous
+    /// action (None on the first step).
+    fn decide(&mut self, last_latency: Option<Latency>) -> Action;
+}
+
+/// Textbook prime+probe.
+///
+/// Prime all attacker addresses, trigger the victim, probe all attacker
+/// addresses in the same order, then guess the victim address mapping to
+/// the first set whose probe missed (or "no access" if enabled and nothing
+/// missed).
+#[derive(Clone, Debug)]
+pub struct TextbookPrimeProbe {
+    attacker_addrs: Vec<u64>,
+    victim_addrs: Vec<u64>,
+    guess_no_access: bool,
+    num_sets: usize,
+    phase: PpPhase,
+    probe_idx: usize,
+    missed_set: Option<usize>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PpPhase {
+    Prime(usize),
+    Trigger,
+    Probe(usize),
+    Guess,
+}
+
+impl TextbookPrimeProbe {
+    /// Builds the attacker for an environment configuration over a cache
+    /// with `num_sets` sets (modulo mapping assumed, as in the paper's
+    /// textbook description).
+    pub fn new(config: &EnvConfig, num_sets: usize) -> Self {
+        Self {
+            attacker_addrs: (config.attacker_addr_s..=config.attacker_addr_e).collect(),
+            victim_addrs: (config.victim_addr_s..=config.victim_addr_e).collect(),
+            guess_no_access: config.victim_no_access_enable,
+            num_sets,
+            phase: PpPhase::Prime(0),
+            probe_idx: 0,
+            missed_set: None,
+        }
+    }
+}
+
+impl ScriptedAttacker for TextbookPrimeProbe {
+    fn begin(&mut self) {
+        self.phase = PpPhase::Prime(0);
+        self.probe_idx = 0;
+        self.missed_set = None;
+    }
+
+    fn decide(&mut self, last_latency: Option<Latency>) -> Action {
+        // Record probe outcome from the previous step.
+        if let PpPhase::Probe(i) = self.phase {
+            if i > 0 && self.missed_set.is_none() {
+                if let Some(Latency::Miss) = last_latency {
+                    let probed = self.attacker_addrs[i - 1];
+                    self.missed_set = Some((probed % self.num_sets as u64) as usize);
+                }
+            }
+        }
+        match self.phase {
+            PpPhase::Prime(i) => {
+                let addr = self.attacker_addrs[i];
+                self.phase = if i + 1 < self.attacker_addrs.len() {
+                    PpPhase::Prime(i + 1)
+                } else {
+                    PpPhase::Trigger
+                };
+                Action::Access(addr)
+            }
+            PpPhase::Trigger => {
+                self.phase = PpPhase::Probe(0);
+                Action::TriggerVictim
+            }
+            PpPhase::Probe(i) => {
+                let addr = self.attacker_addrs[i];
+                self.phase = if i + 1 < self.attacker_addrs.len() {
+                    PpPhase::Probe(i + 1)
+                } else {
+                    PpPhase::Guess
+                };
+                Action::Access(addr)
+            }
+            PpPhase::Guess => {
+                // Check the final probe's latency too.
+                if self.missed_set.is_none() {
+                    if let Some(Latency::Miss) = last_latency {
+                        let probed = *self.attacker_addrs.last().expect("non-empty");
+                        self.missed_set = Some((probed % self.num_sets as u64) as usize);
+                    }
+                }
+                let action = match self.missed_set {
+                    Some(set) => {
+                        // Guess the victim address mapping to that set.
+                        let guess = self
+                            .victim_addrs
+                            .iter()
+                            .find(|&&v| (v % self.num_sets as u64) as usize == set)
+                            .copied()
+                            .unwrap_or(self.victim_addrs[0]);
+                        Action::Guess(guess)
+                    }
+                    None if self.guess_no_access => Action::GuessNoAccess,
+                    None => Action::Guess(self.victim_addrs[0]),
+                };
+                // The probe re-primed the set, so the next round skips the
+                // prime phase (this is what makes the textbook bit rate
+                // 26 guesses / 160 steps = 0.1625 in Table VIII).
+                self.phase = PpPhase::Trigger;
+                self.probe_idx = 0;
+                self.missed_set = None;
+                action
+            }
+        }
+    }
+}
+
+/// Textbook flush+reload on a shared address: flush, trigger, reload and
+/// time; a hit means the victim touched the line.
+#[derive(Clone, Debug)]
+pub struct TextbookFlushReload {
+    victim_addrs: Vec<u64>,
+    guess_no_access: bool,
+    phase: FrPhase,
+    hit_addr: Option<u64>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FrPhase {
+    Flush(usize),
+    Trigger,
+    Reload(usize),
+    Guess,
+}
+
+impl TextbookFlushReload {
+    /// Builds the attacker; requires the config to share addresses between
+    /// attacker and victim and have flush enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.flush_enable` is false.
+    pub fn new(config: &EnvConfig) -> Self {
+        assert!(config.flush_enable, "flush+reload needs flush_enable");
+        Self {
+            victim_addrs: (config.victim_addr_s..=config.victim_addr_e).collect(),
+            guess_no_access: config.victim_no_access_enable,
+            phase: FrPhase::Flush(0),
+            hit_addr: None,
+        }
+    }
+}
+
+impl ScriptedAttacker for TextbookFlushReload {
+    fn begin(&mut self) {
+        self.phase = FrPhase::Flush(0);
+        self.hit_addr = None;
+    }
+
+    fn decide(&mut self, last_latency: Option<Latency>) -> Action {
+        if let FrPhase::Reload(i) = self.phase {
+            if i > 0 && self.hit_addr.is_none() {
+                if let Some(Latency::Hit) = last_latency {
+                    self.hit_addr = Some(self.victim_addrs[i - 1]);
+                }
+            }
+        }
+        match self.phase {
+            FrPhase::Flush(i) => {
+                let addr = self.victim_addrs[i];
+                self.phase = if i + 1 < self.victim_addrs.len() {
+                    FrPhase::Flush(i + 1)
+                } else {
+                    FrPhase::Trigger
+                };
+                Action::Flush(addr)
+            }
+            FrPhase::Trigger => {
+                self.phase = FrPhase::Reload(0);
+                Action::TriggerVictim
+            }
+            FrPhase::Reload(i) => {
+                let addr = self.victim_addrs[i];
+                self.phase = if i + 1 < self.victim_addrs.len() {
+                    FrPhase::Reload(i + 1)
+                } else {
+                    FrPhase::Guess
+                };
+                Action::Access(addr)
+            }
+            FrPhase::Guess => {
+                if self.hit_addr.is_none() {
+                    if let Some(Latency::Hit) = last_latency {
+                        self.hit_addr = Some(*self.victim_addrs.last().expect("non-empty"));
+                    }
+                }
+                let action = match self.hit_addr {
+                    Some(addr) => Action::Guess(addr),
+                    None if self.guess_no_access => Action::GuessNoAccess,
+                    None => Action::Guess(self.victim_addrs[0]),
+                };
+                self.phase = FrPhase::Flush(0);
+                self.hit_addr = None;
+                action
+            }
+        }
+    }
+}
+
+/// Runs a scripted attacker on the single-secret guessing game for
+/// `episodes` episodes, returning `(correct, total_steps)`.
+pub fn run_scripted(
+    env: &mut autocat_gym::CacheGuessingGame,
+    attacker: &mut dyn ScriptedAttacker,
+    episodes: usize,
+    rng: &mut rand::rngs::StdRng,
+) -> (usize, usize) {
+    use autocat_gym::Environment;
+    let mut correct = 0;
+    let mut steps = 0;
+    for _ in 0..episodes {
+        env.reset(rng);
+        attacker.begin();
+        let mut last = None;
+        loop {
+            let action = attacker.decide(last);
+            let idx = env
+                .action_space()
+                .encode(action)
+                .expect("scripted action must exist in the action space");
+            let result = env.step(idx, rng);
+            steps += 1;
+            last = env.history().last().map(|r| r.latency);
+            if result.done {
+                correct += usize::from(result.info.guessed == Some(true));
+                break;
+            }
+        }
+    }
+    (correct, steps)
+}
+
+/// Runs a scripted attacker on a multi-guess episode to completion,
+/// returning the episode statistics.
+pub fn run_scripted_multi(
+    env: &mut autocat_gym::MultiGuessEnv,
+    attacker: &mut dyn ScriptedAttacker,
+    rng: &mut rand::rngs::StdRng,
+) -> autocat_gym::multi::EpisodeStats {
+    use autocat_gym::Environment;
+    env.reset(rng);
+    attacker.begin();
+    let mut last = None;
+    loop {
+        let action = attacker.decide(last);
+        let idx = env
+            .action_space()
+            .encode(action)
+            .expect("scripted action must exist in the action space");
+        let result = env.step(idx, rng);
+        // Read the latency of the step just taken from the most recent
+        // token: [hit, miss, na] one-hot at the window head.
+        let hit = result.obs[0] == 1.0;
+        let miss = result.obs[1] == 1.0;
+        last = Some(if hit {
+            Latency::Hit
+        } else if miss {
+            Latency::Miss
+        } else {
+            Latency::NotAvailable
+        });
+        if result.done {
+            return env.stats().clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocat_gym::{CacheGuessingGame, MultiGuessEnv};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn textbook_prime_probe_is_perfect_on_config1() {
+        let config = EnvConfig::prime_probe_dm4();
+        let mut env = CacheGuessingGame::new(config.clone()).unwrap();
+        let mut pp = TextbookPrimeProbe::new(&config, 4);
+        let (correct, steps) = run_scripted(&mut env, &mut pp, 50, &mut rng());
+        assert_eq!(correct, 50, "textbook PP must always win on the LRU sim");
+        // 4 prime + 1 trigger + 4 probe + 1 guess = 10 steps per episode.
+        assert_eq!(steps, 500);
+    }
+
+    #[test]
+    fn textbook_flush_reload_is_perfect_on_config6() {
+        let config = EnvConfig::flush_reload_fa4();
+        let mut env = CacheGuessingGame::new(config.clone()).unwrap();
+        let mut fr = TextbookFlushReload::new(&config);
+        let (correct, _) = run_scripted(&mut env, &mut fr, 50, &mut rng());
+        assert_eq!(correct, 50, "textbook FR must always win on the LRU sim");
+    }
+
+    #[test]
+    fn textbook_pp_bit_rate_matches_paper() {
+        // Table VIII reports the textbook bit rate as 0.1625 guesses/step
+        // in the 160-step episode (26 guesses in 160 steps).
+        let mut env = MultiGuessEnv::new(autocat_gym::MultiGuessConfig::fig3_baseline()).unwrap();
+        let cfg = EnvConfig::prime_probe_dm4();
+        let mut pp = TextbookPrimeProbe::new(&cfg, 4);
+        let stats = run_scripted_multi(&mut env, &mut pp, &mut rng());
+        let expected = 0.1625;
+        assert!(
+            (stats.bit_rate() - expected).abs() < 0.01,
+            "bit rate {} vs paper {}",
+            stats.bit_rate(),
+            expected
+        );
+        assert!(stats.accuracy() > 0.95, "accuracy {}", stats.accuracy());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs flush_enable")]
+    fn flush_reload_requires_flush() {
+        let _ = TextbookFlushReload::new(&EnvConfig::prime_probe_dm4());
+    }
+}

@@ -1,0 +1,89 @@
+//! Fig. 3: conflict-miss event trains and autocorrelograms for the
+//! textbook, RL-baseline and RL-autocor agents.
+
+use autocat::attacks::textbook::{run_scripted_multi, TextbookPrimeProbe};
+use autocat::detect::EventTrain;
+use autocat::gym::{EnvConfig, MultiGuessConfig, MultiGuessEnv, Environment};
+use autocat::ppo::{eval, Backbone, PpoConfig, Trainer};
+use autocat_bench::{print_header, Budget};
+use rand::SeedableRng;
+
+fn render_train(label: &str, train: &EventTrain) {
+    let bits: String = train
+        .as_slice()
+        .iter()
+        .take(60)
+        .map(|&b| if b == 1 { '#' } else { '.' })
+        .collect();
+    println!("{label:<12} A->V(#) V->A(.): {bits}");
+}
+
+fn render_autocorrelogram(label: &str, train: &EventTrain) {
+    let gram = train.autocorrelogram(30);
+    let line: String = gram
+        .iter()
+        .map(|&c| {
+            if c > 0.75 {
+                '!'
+            } else if c > 0.3 {
+                '+'
+            } else if c > -0.3 {
+                '.'
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    println!(
+        "{label:<12} C_p lags 0..30: {line}  (max C_p>=1: {:.3})",
+        train.max_autocorrelation(30)
+    );
+}
+
+fn main() {
+    let budget = Budget::from_env();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    print_header("Fig. 3: event trains and autocorrelograms", "");
+
+    // Textbook prime+probe.
+    let mut env = MultiGuessEnv::new(MultiGuessConfig::fig3_baseline()).unwrap();
+    let mut pp = TextbookPrimeProbe::new(&EnvConfig::prime_probe_dm4(), 4);
+    let _ = run_scripted_multi(&mut env, &mut pp, &mut rng);
+    let train = EventTrain::from_events(env.episode_events().iter());
+    render_train("textbook", &train);
+    render_autocorrelogram("textbook", &train);
+
+    // RL baseline and RL autocor.
+    for (label, autocor) in [("RL_baseline", false), ("RL_autocor", true)] {
+        let mut cfg = MultiGuessConfig::fig3_baseline();
+        if autocor {
+            cfg = cfg.with_autocorr(-8.0, 30);
+        }
+        let env = MultiGuessEnv::new(cfg).unwrap();
+        let mut trainer = Trainer::new(
+            env,
+            Backbone::Mlp { hidden: vec![64, 64] },
+            PpoConfig::small_env(),
+            7,
+        );
+        trainer.train_until(8.0, budget.max_steps());
+        let (env, net, rng2) = trainer.parts_mut();
+        let _ = eval::evaluate(env, net, 1, false, rng2);
+        // One more full episode to read its event log.
+        let mut obs = env.reset(rng2);
+        loop {
+            use autocat::nn::models::PolicyValueNet;
+            let (logits, _) = net.forward(&autocat::nn::Matrix::from_row(&obs));
+            let a = autocat::nn::Categorical::from_logits(logits.row(0)).sample(rng2);
+            let r = env.step(a, rng2);
+            if r.done {
+                break;
+            }
+            obs = r.obs;
+        }
+        let train = EventTrain::from_events(env.episode_events().iter());
+        render_train(label, &train);
+        render_autocorrelogram(label, &train);
+    }
+    println!("\n(expected shape: textbook & RL_baseline periodic (max C > 0.75); RL_autocor below threshold)");
+}

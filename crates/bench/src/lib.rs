@@ -1,0 +1,73 @@
+//! Shared helpers for the table/figure harness binaries.
+//!
+//! Every binary regenerates one table or figure of the paper (see
+//! DESIGN.md's experiment index). Budgets: set `AUTOCAT_BUDGET=full` for
+//! the paper-scale runs; the default `quick` mode uses reduced training
+//! budgets and fewer repeat runs so a full sweep finishes on a laptop.
+
+use autocat::gym::EnvConfig;
+use autocat::ppo::{Backbone, PpoConfig};
+
+/// Run budget selected via the `AUTOCAT_BUDGET` environment variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Budget {
+    /// Reduced budgets (default): 1 training run per row, capped steps.
+    Quick,
+    /// Paper-scale budgets: 3 runs per row, generous step caps.
+    Full,
+}
+
+impl Budget {
+    /// Reads the budget from the environment.
+    pub fn from_env() -> Self {
+        match std::env::var("AUTOCAT_BUDGET").as_deref() {
+            Ok("full") => Budget::Full,
+            _ => Budget::Quick,
+        }
+    }
+
+    /// Training runs per table row (the paper averages over 3).
+    pub fn runs(self) -> u64 {
+        match self {
+            Budget::Quick => 1,
+            Budget::Full => 3,
+        }
+    }
+
+    /// Environment-step cap per training run.
+    pub fn max_steps(self) -> u64 {
+        match self {
+            Budget::Quick => 400_000,
+            Budget::Full => 1_500_000,
+        }
+    }
+}
+
+/// The standard explorer setup used by the training-based tables.
+pub fn standard_explorer(config: EnvConfig, seed: u64, budget: Budget) -> autocat::Explorer {
+    autocat::Explorer::new(config)
+        .seed(seed)
+        .max_steps(budget.max_steps())
+        .backbone(Backbone::Mlp { hidden: vec![64, 64] })
+        .ppo(PpoConfig::small_env())
+}
+
+/// Prints a table header with a separator line.
+pub fn print_header(title: &str, columns: &str) {
+    println!("\n=== {title} ===");
+    println!("{columns}");
+    println!("{}", "-".repeat(columns.len().min(100)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_budget_is_default() {
+        std::env::remove_var("AUTOCAT_BUDGET");
+        assert_eq!(Budget::from_env(), Budget::Quick);
+        assert_eq!(Budget::Quick.runs(), 1);
+        assert!(Budget::Full.max_steps() > Budget::Quick.max_steps());
+    }
+}

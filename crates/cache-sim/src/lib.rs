@@ -1,0 +1,47 @@
+//! Configurable cache simulator for the AutoCAT reproduction.
+//!
+//! This crate replaces the Python cache simulator the paper embeds in its RL
+//! environment (Sec. IV-A). It models a single cache or a two-level
+//! hierarchy at cache-line granularity:
+//!
+//! * direct-mapped / set-associative / fully-associative geometry
+//!   ([`CacheConfig`]),
+//! * replacement policies: true LRU, tree-PLRU, RRIP, NRU and random
+//!   ([`policy`]),
+//! * next-line and stream prefetchers ([`prefetch`]),
+//! * PL-cache line locking (Table VII experiment),
+//! * a fixed random address-to-set mapping (Sec. V-B),
+//! * a two-level hierarchy with private L1s and a shared inclusive L2
+//!   (configs 16/17 of Table IV),
+//! * an event stream ([`event::CacheEvent`]) consumed by the detectors in
+//!   `autocat-detect` (CC-Hunter conflict-miss trains, Cyclone cyclic
+//!   interference).
+//!
+//! Addresses are *line* addresses: the paper's guessing game indexes cache
+//! lines directly (PIPT, no offset bits).
+//!
+//! # Example
+//!
+//! ```
+//! use autocat_cache::{Cache, CacheConfig, Domain, PolicyKind};
+//!
+//! // A 4-way fully-associative cache with true LRU.
+//! let config = CacheConfig::new(1, 4).with_policy(PolicyKind::Lru);
+//! let mut cache = Cache::new(config);
+//! assert!(!cache.access(0, Domain::Attacker).hit);
+//! assert!(cache.access(0, Domain::Attacker).hit);
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod event;
+pub mod hierarchy;
+pub mod mapping;
+pub mod policy;
+pub mod prefetch;
+
+pub use cache::{AccessResult, Cache};
+pub use config::{CacheConfig, PolicyKind, PrefetcherKind};
+pub use event::{CacheEvent, Domain};
+pub use hierarchy::{HierarchyResult, TwoLevelCache, TwoLevelConfig};
+pub use mapping::AddressMapping;

@@ -1,0 +1,463 @@
+//! Replacement policies (paper Sec. IV-A / V-C).
+//!
+//! Each cache set owns one [`SetPolicy`] instance tracking that set's
+//! replacement state. The cache first fills invalid ways; `victim` is only
+//! consulted when every unlocked way is valid, and must never return a
+//! locked way (PL-cache locking, Table VII).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::PolicyKind;
+
+/// Replacement state for one cache set.
+///
+/// Dispatch is by enum rather than trait object so sets stay `Clone` and
+/// cheap to construct.
+#[derive(Clone, Debug)]
+pub enum SetPolicy {
+    /// True LRU with full recency ordering.
+    Lru(LruState),
+    /// Tree pseudo-LRU.
+    Plru(PlruState),
+    /// 2-bit static RRIP.
+    Rrip(RripState),
+    /// Not-recently-used (single reference bit).
+    Nru(NruState),
+    /// Uniform random victim selection.
+    Random(RandomState),
+}
+
+impl SetPolicy {
+    /// Creates the replacement state for a set of `num_ways` ways.
+    pub fn new(kind: PolicyKind, num_ways: usize, seed: u64) -> Self {
+        match kind {
+            PolicyKind::Lru => SetPolicy::Lru(LruState::new(num_ways)),
+            PolicyKind::Plru => SetPolicy::Plru(PlruState::new(num_ways)),
+            PolicyKind::Rrip => SetPolicy::Rrip(RripState::new(num_ways)),
+            PolicyKind::Nru => SetPolicy::Nru(NruState::new(num_ways)),
+            PolicyKind::Random => SetPolicy::Random(RandomState::new(num_ways, seed)),
+        }
+    }
+
+    /// Notifies the policy of a hit on `way`.
+    pub fn on_hit(&mut self, way: usize) {
+        match self {
+            SetPolicy::Lru(s) => s.touch(way),
+            SetPolicy::Plru(s) => s.touch(way),
+            SetPolicy::Rrip(s) => s.on_hit(way),
+            SetPolicy::Nru(s) => s.touch(way),
+            SetPolicy::Random(_) => {}
+        }
+    }
+
+    /// Notifies the policy that a line was filled into `way`.
+    pub fn on_fill(&mut self, way: usize) {
+        match self {
+            SetPolicy::Lru(s) => s.touch(way),
+            SetPolicy::Plru(s) => s.touch(way),
+            SetPolicy::Rrip(s) => s.on_fill(way),
+            SetPolicy::Nru(s) => s.touch(way),
+            SetPolicy::Random(_) => {}
+        }
+    }
+
+    /// Notifies the policy that `way` was invalidated (flush).
+    pub fn on_invalidate(&mut self, way: usize) {
+        match self {
+            SetPolicy::Lru(s) => s.invalidate(way),
+            SetPolicy::Plru(_) => {}
+            SetPolicy::Rrip(s) => s.invalidate(way),
+            SetPolicy::Nru(s) => s.invalidate(way),
+            SetPolicy::Random(_) => {}
+        }
+    }
+
+    /// Chooses the way to evict. `locked[w]` marks ways that must not be
+    /// chosen (PL cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if every way is locked.
+    pub fn victim(&mut self, locked: &[bool]) -> usize {
+        assert!(locked.iter().any(|&l| !l), "all ways locked: nothing can be evicted");
+        match self {
+            SetPolicy::Lru(s) => s.victim(locked),
+            SetPolicy::Plru(s) => s.victim(locked),
+            SetPolicy::Rrip(s) => s.victim(locked),
+            SetPolicy::Nru(s) => s.victim(locked),
+            SetPolicy::Random(s) => s.victim(locked),
+        }
+    }
+
+    /// Returns the LRU age ordering (0 = most recent) when the policy keeps
+    /// one; used by the Fig. 4 cache-state traces and by tests.
+    pub fn lru_ages(&self) -> Option<Vec<usize>> {
+        match self {
+            SetPolicy::Lru(s) => Some(s.ages()),
+            _ => None,
+        }
+    }
+
+    /// Returns the per-way RRPV values for RRIP.
+    pub fn rrpv(&self) -> Option<Vec<u8>> {
+        match self {
+            SetPolicy::Rrip(s) => Some(s.rrpv.clone()),
+            _ => None,
+        }
+    }
+}
+
+/// True-LRU state: monotonically increasing recency stamps.
+#[derive(Clone, Debug)]
+pub struct LruState {
+    stamp: Vec<u64>,
+    clock: u64,
+}
+
+impl LruState {
+    fn new(num_ways: usize) -> Self {
+        Self { stamp: vec![0; num_ways], clock: 0 }
+    }
+
+    fn touch(&mut self, way: usize) {
+        self.clock += 1;
+        self.stamp[way] = self.clock;
+    }
+
+    fn invalidate(&mut self, way: usize) {
+        self.stamp[way] = 0;
+    }
+
+    fn victim(&self, locked: &[bool]) -> usize {
+        self.stamp
+            .iter()
+            .enumerate()
+            .filter(|&(w, _)| !locked[w])
+            .min_by_key(|&(_, &s)| s)
+            .map(|(w, _)| w)
+            .expect("at least one unlocked way")
+    }
+
+    /// Age ordering: 0 for the most recently used way.
+    fn ages(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.stamp.len()).collect();
+        order.sort_by_key(|&w| std::cmp::Reverse(self.stamp[w]));
+        let mut ages = vec![0; self.stamp.len()];
+        for (age, &w) in order.iter().enumerate() {
+            ages[w] = age;
+        }
+        ages
+    }
+}
+
+/// Tree pseudo-LRU state.
+///
+/// For power-of-two associativity this is the textbook binary-tree PLRU.
+/// For other way counts the tree is built over the next power of two and a
+/// walk that lands on a nonexistent or locked way falls back to the first
+/// admissible way (real designs use similar fix-ups).
+#[derive(Clone, Debug)]
+pub struct PlruState {
+    /// Tree bits; `bits[i] == false` points left, `true` points right.
+    bits: Vec<bool>,
+    num_ways: usize,
+    leaves: usize,
+}
+
+impl PlruState {
+    fn new(num_ways: usize) -> Self {
+        let leaves = num_ways.next_power_of_two().max(2);
+        Self { bits: vec![false; leaves - 1], num_ways, leaves }
+    }
+
+    /// Updates tree bits to point *away* from `way`.
+    fn touch(&mut self, way: usize) {
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = self.leaves;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if way < mid {
+                self.bits[node] = true; // point right, away from the left half
+                node = 2 * node + 1;
+                hi = mid;
+            } else {
+                self.bits[node] = false; // point left
+                node = 2 * node + 2;
+                lo = mid;
+            }
+        }
+    }
+
+    fn victim(&self, locked: &[bool]) -> usize {
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = self.leaves;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.bits[node] {
+                node = 2 * node + 2;
+                lo = mid;
+            } else {
+                node = 2 * node + 1;
+                hi = mid;
+            }
+        }
+        let candidate = lo;
+        if candidate < self.num_ways && !locked[candidate] {
+            candidate
+        } else {
+            // Fix-up: first unlocked way.
+            (0..self.num_ways)
+                .find(|&w| !locked[w])
+                .expect("at least one unlocked way")
+        }
+    }
+}
+
+/// 2-bit SRRIP state (paper Sec. V-C): fill at RRPV=2, promote to 0 on hit,
+/// evict the way with RRPV=3, aging everyone when none qualifies.
+#[derive(Clone, Debug)]
+pub struct RripState {
+    rrpv: Vec<u8>,
+}
+
+impl RripState {
+    const MAX: u8 = 3;
+
+    fn new(num_ways: usize) -> Self {
+        Self { rrpv: vec![Self::MAX; num_ways] }
+    }
+
+    fn on_hit(&mut self, way: usize) {
+        self.rrpv[way] = 0;
+    }
+
+    fn on_fill(&mut self, way: usize) {
+        self.rrpv[way] = 2;
+    }
+
+    fn invalidate(&mut self, way: usize) {
+        self.rrpv[way] = Self::MAX;
+    }
+
+    fn victim(&mut self, locked: &[bool]) -> usize {
+        loop {
+            if let Some(w) = (0..self.rrpv.len()).find(|&w| !locked[w] && self.rrpv[w] == Self::MAX)
+            {
+                return w;
+            }
+            for w in 0..self.rrpv.len() {
+                if !locked[w] && self.rrpv[w] < Self::MAX {
+                    self.rrpv[w] += 1;
+                }
+            }
+        }
+    }
+}
+
+/// NRU state: one reference bit per way; victim is the first unlocked way
+/// with a clear bit, clearing all bits when none qualifies.
+#[derive(Clone, Debug)]
+pub struct NruState {
+    referenced: Vec<bool>,
+}
+
+impl NruState {
+    fn new(num_ways: usize) -> Self {
+        Self { referenced: vec![false; num_ways] }
+    }
+
+    fn touch(&mut self, way: usize) {
+        self.referenced[way] = true;
+        // If every way is referenced, clear the others (standard NRU reset).
+        if self.referenced.iter().all(|&r| r) {
+            for (w, r) in self.referenced.iter_mut().enumerate() {
+                *r = w == way;
+            }
+        }
+    }
+
+    fn invalidate(&mut self, way: usize) {
+        self.referenced[way] = false;
+    }
+
+    fn victim(&mut self, locked: &[bool]) -> usize {
+        if let Some(w) = (0..self.referenced.len()).find(|&w| !locked[w] && !self.referenced[w]) {
+            return w;
+        }
+        for w in 0..self.referenced.len() {
+            if !locked[w] {
+                self.referenced[w] = false;
+            }
+        }
+        (0..self.referenced.len())
+            .find(|&w| !locked[w])
+            .expect("at least one unlocked way")
+    }
+}
+
+/// Random replacement state.
+#[derive(Clone, Debug)]
+pub struct RandomState {
+    rng: StdRng,
+    num_ways: usize,
+}
+
+impl RandomState {
+    fn new(num_ways: usize, seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), num_ways }
+    }
+
+    fn victim(&mut self, locked: &[bool]) -> usize {
+        let candidates: Vec<usize> = (0..self.num_ways).filter(|&w| !locked[w]).collect();
+        candidates[self.rng.gen_range(0..candidates.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_locks(n: usize) -> Vec<bool> {
+        vec![false; n]
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut p = SetPolicy::new(PolicyKind::Lru, 4, 0);
+        for w in 0..4 {
+            p.on_fill(w);
+        }
+        p.on_hit(0); // order now: 1 is LRU
+        assert_eq!(p.victim(&no_locks(4)), 1);
+    }
+
+    #[test]
+    fn lru_ages_track_recency() {
+        let mut p = SetPolicy::new(PolicyKind::Lru, 4, 0);
+        for w in 0..4 {
+            p.on_fill(w);
+        }
+        // MRU is way 3 (age 0), LRU is way 0 (age 3).
+        assert_eq!(p.lru_ages().unwrap(), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn lru_respects_locks() {
+        let mut p = SetPolicy::new(PolicyKind::Lru, 4, 0);
+        for w in 0..4 {
+            p.on_fill(w);
+        }
+        let mut locked = no_locks(4);
+        locked[0] = true; // way 0 is oldest but locked
+        assert_eq!(p.victim(&locked), 1);
+    }
+
+    #[test]
+    fn plru_single_way_never_panics() {
+        let mut p = SetPolicy::new(PolicyKind::Plru, 1, 0);
+        p.on_fill(0);
+        assert_eq!(p.victim(&no_locks(1)), 0);
+    }
+
+    #[test]
+    fn plru_4way_points_away_from_recent() {
+        let mut p = SetPolicy::new(PolicyKind::Plru, 4, 0);
+        for w in 0..4 {
+            p.on_fill(w);
+        }
+        // After filling 0,1,2,3 the tree points to the left half's way 0/1.
+        let v = p.victim(&no_locks(4));
+        assert!(v == 0 || v == 1, "expected left-half victim, got {v}");
+        // Touching the victim should move the pointer elsewhere.
+        p.on_hit(v);
+        assert_ne!(p.victim(&no_locks(4)), v);
+    }
+
+    #[test]
+    fn plru_approximates_lru_on_sequential_fill() {
+        let mut p = SetPolicy::new(PolicyKind::Plru, 8, 0);
+        for w in 0..8 {
+            p.on_fill(w);
+        }
+        // After 0..7 in order, way 0 is the PLRU victim.
+        assert_eq!(p.victim(&no_locks(8)), 0);
+    }
+
+    #[test]
+    fn rrip_fills_at_two_promotes_to_zero() {
+        let mut p = SetPolicy::new(PolicyKind::Rrip, 4, 0);
+        p.on_fill(0);
+        assert_eq!(p.rrpv().unwrap()[0], 2);
+        p.on_hit(0);
+        assert_eq!(p.rrpv().unwrap()[0], 0);
+    }
+
+    #[test]
+    fn rrip_evicts_max_rrpv_and_ages() {
+        let mut p = SetPolicy::new(PolicyKind::Rrip, 4, 0);
+        for w in 0..4 {
+            p.on_fill(w); // all at RRPV=2
+        }
+        p.on_hit(0); // way 0 at RRPV=0
+        // No way at 3 -> aging: ways 1..3 reach 3 first; victim is way 1.
+        assert_eq!(p.victim(&no_locks(4)), 1);
+    }
+
+    #[test]
+    fn nru_victim_prefers_unreferenced() {
+        let mut p = SetPolicy::new(PolicyKind::Nru, 4, 0);
+        p.on_fill(0);
+        p.on_fill(1);
+        assert_eq!(p.victim(&no_locks(4)), 2);
+    }
+
+    #[test]
+    fn nru_resets_when_all_referenced() {
+        let mut p = SetPolicy::new(PolicyKind::Nru, 2, 0);
+        p.on_fill(0);
+        p.on_fill(1); // triggers reset, keeping only way 1 referenced
+        assert_eq!(p.victim(&no_locks(2)), 0);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_respects_locks() {
+        let mut p1 = SetPolicy::new(PolicyKind::Random, 4, 9);
+        let mut p2 = SetPolicy::new(PolicyKind::Random, 4, 9);
+        let locked = vec![true, false, true, false];
+        for _ in 0..32 {
+            let v1 = p1.victim(&locked);
+            assert_eq!(v1, p2.victim(&locked));
+            assert!(v1 == 1 || v1 == 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all ways locked")]
+    fn all_locked_panics() {
+        let mut p = SetPolicy::new(PolicyKind::Lru, 2, 0);
+        let _ = p.victim(&[true, true]);
+    }
+
+    #[test]
+    fn victims_always_unlocked_for_every_policy() {
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::Plru,
+            PolicyKind::Rrip,
+            PolicyKind::Nru,
+            PolicyKind::Random,
+        ] {
+            let mut p = SetPolicy::new(kind, 4, 1);
+            for w in 0..4 {
+                p.on_fill(w);
+            }
+            let locked = vec![true, true, false, true];
+            for _ in 0..8 {
+                assert_eq!(p.victim(&locked), 2, "{kind:?} must pick the only unlocked way");
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Hardware prefetchers (configs 2, 13 and 14 of Table IV).
+
+use crate::config::PrefetcherKind;
+
+/// Runtime state of the configured prefetcher.
+///
+/// Given each demand access, [`PrefetchState::observe`] returns the line
+/// addresses the prefetcher wants to bring in (at most one per access, as in
+/// the paper's traces where accesses show a single `(pN)` annotation).
+#[derive(Clone, Debug)]
+pub enum PrefetchState {
+    /// No prefetching.
+    None,
+    /// Next-line: every demand access prefetches `addr + 1`.
+    NextLine,
+    /// Stream/stride: after two accesses with the same stride, prefetches
+    /// `addr + stride`.
+    Stream {
+        /// Previous demand address.
+        last_addr: Option<u64>,
+        /// Stride between the last two demand addresses.
+        last_stride: Option<i64>,
+    },
+}
+
+impl PrefetchState {
+    /// Creates the state for a prefetcher kind.
+    pub fn new(kind: PrefetcherKind) -> Self {
+        match kind {
+            PrefetcherKind::None => PrefetchState::None,
+            PrefetcherKind::NextLine => PrefetchState::NextLine,
+            PrefetcherKind::Stream => PrefetchState::Stream { last_addr: None, last_stride: None },
+        }
+    }
+
+    /// Observes a demand access and returns the address to prefetch, if any.
+    ///
+    /// `wrap` bounds the address space: prefetches wrap modulo it (the
+    /// paper's config-2 trace shows access 7 prefetching address 0 in an
+    /// 8-address space).
+    pub fn observe(&mut self, addr: u64, wrap: Option<u64>) -> Option<u64> {
+        let wrap_fn = |a: i64| -> Option<u64> {
+            match wrap {
+                Some(w) if w > 0 => Some(a.rem_euclid(w as i64) as u64),
+                _ if a >= 0 => Some(a as u64),
+                _ => None,
+            }
+        };
+        match self {
+            PrefetchState::None => None,
+            PrefetchState::NextLine => wrap_fn(addr as i64 + 1),
+            PrefetchState::Stream { last_addr, last_stride } => {
+                let mut out = None;
+                if let Some(prev) = *last_addr {
+                    let stride = addr as i64 - prev as i64;
+                    if stride != 0 && *last_stride == Some(stride) {
+                        out = wrap_fn(addr as i64 + stride);
+                    }
+                    *last_stride = Some(stride);
+                }
+                *last_addr = Some(addr);
+                out
+            }
+        }
+    }
+
+    /// Resets stream-detection state.
+    pub fn reset(&mut self) {
+        if let PrefetchState::Stream { last_addr, last_stride } = self {
+            *last_addr = None;
+            *last_stride = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_prefetches() {
+        let mut p = PrefetchState::new(PrefetcherKind::None);
+        assert_eq!(p.observe(5, None), None);
+    }
+
+    #[test]
+    fn next_line_prefetches_addr_plus_one() {
+        let mut p = PrefetchState::new(PrefetcherKind::NextLine);
+        assert_eq!(p.observe(6, None), Some(7));
+    }
+
+    #[test]
+    fn next_line_wraps_in_bounded_space() {
+        // Paper config 2: accessing 7 in an 8-address space prefetches 0.
+        let mut p = PrefetchState::new(PrefetcherKind::NextLine);
+        assert_eq!(p.observe(7, Some(8)), Some(0));
+    }
+
+    #[test]
+    fn stream_needs_two_consistent_strides() {
+        let mut p = PrefetchState::new(PrefetcherKind::Stream);
+        assert_eq!(p.observe(4, Some(16)), None); // first access
+        assert_eq!(p.observe(6, Some(16)), None); // stride +2 observed once
+        assert_eq!(p.observe(8, Some(16)), Some(10)); // stride confirmed
+    }
+
+    #[test]
+    fn stream_resets_on_stride_change() {
+        let mut p = PrefetchState::new(PrefetcherKind::Stream);
+        p.observe(0, None);
+        p.observe(1, None);
+        assert_eq!(p.observe(2, None), Some(3)); // +1 stream
+        assert_eq!(p.observe(10, None), None); // broken stride
+        assert_eq!(p.observe(11, None), None); // new stride seen once
+        assert_eq!(p.observe(12, None), Some(13));
+    }
+
+    #[test]
+    fn stream_ignores_repeated_address() {
+        let mut p = PrefetchState::new(PrefetcherKind::Stream);
+        p.observe(3, None);
+        assert_eq!(p.observe(3, None), None);
+        assert_eq!(p.observe(3, None), None);
+    }
+
+    #[test]
+    fn reset_clears_stream_state() {
+        let mut p = PrefetchState::new(PrefetcherKind::Stream);
+        p.observe(0, None);
+        p.observe(1, None);
+        p.reset();
+        assert_eq!(p.observe(2, None), None);
+    }
+}

@@ -1,0 +1,28 @@
+//! Cache timing-channel detectors for the AutoCAT reproduction.
+//!
+//! Sec. V-D of the paper evaluates four protection schemes; three of them
+//! are detectors implemented here (the fourth, the PL cache, lives in the
+//! cache simulator's locking support):
+//!
+//! * [`autocorr`] — CC-Hunter-style autocorrelation over conflict-miss event
+//!   trains.
+//! * [`cyclone`] + [`svm`] — Cyclone-style cyclic-interference features fed
+//!   to a linear SVM (trained here by Pegasos SGD; the paper trains on
+//!   SPEC2017 benign traces, we substitute the synthetic generator in
+//!   [`benign`]).
+//! * [`misscount`] — µarch-statistics detection flagging victim-program
+//!   cache misses.
+//!
+//! All detectors consume the [`autocat_cache::CacheEvent`] stream emitted by
+//! the simulator.
+
+pub mod autocorr;
+pub mod benign;
+pub mod cyclone;
+pub mod misscount;
+pub mod svm;
+
+pub use autocorr::{AutocorrDetector, EventTrain};
+pub use cyclone::CycloneFeatures;
+pub use misscount::MissCountDetector;
+pub use svm::LinearSvm;

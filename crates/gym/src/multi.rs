@@ -1,0 +1,510 @@
+//! Fixed-length multi-secret episodes (Fig. 3, Tables VIII & IX).
+//!
+//! For the detector-bypass case studies the paper trains "a baseline attack
+//! agent where multiple guesses happen in one fixed-step (e.g., 160-step)
+//! episode and each guess corresponds to one secret". After every guess the
+//! secret is re-randomized; at episode end the environment can add shaped
+//! penalties:
+//!
+//! * an L2 autocorrelation penalty `R_L2 = a · Σ_p C_p² / P` (RL-autocor),
+//! * an SVM detection penalty when the Cyclone classifier flags the episode
+//!   trace (RL-SVM),
+//! * a no-guess penalty when the agent never guessed.
+
+use autocat_cache::CacheEvent;
+use autocat_detect::{CycloneFeatures, EventTrain, LinearSvm};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::VecDeque;
+
+use crate::action::{Action, ActionSpace};
+use crate::config::{CacheSpec, DetectionMode, EnvConfig};
+use crate::env::{Backend, Secret};
+use crate::obs::{Latency, ObsEncoder, StepRecord};
+use crate::{Environment, StepInfo, StepResult};
+
+/// Autocorrelation penalty parameters (RL-autocor agent).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AutocorrPenalty {
+    /// Weight `a` (negative) of the L2 penalty.
+    pub weight: f32,
+    /// Maximum lag `P`.
+    pub max_lag: usize,
+}
+
+/// SVM detection penalty parameters (RL-SVM agent).
+#[derive(Clone, Debug)]
+pub struct SvmPenalty {
+    /// The trained Cyclone SVM.
+    pub svm: LinearSvm,
+    /// Feature extractor matching the SVM's training features.
+    pub features: CycloneFeatures,
+    /// Penalty added when the SVM classifies the episode as an attack.
+    pub penalty: f32,
+}
+
+/// Configuration of [`MultiGuessEnv`].
+#[derive(Clone, Debug)]
+pub struct MultiGuessConfig {
+    /// Base configuration: cache, address ranges, rewards, window.
+    pub base: EnvConfig,
+    /// Fixed episode length in steps (the paper uses 160).
+    pub episode_len: usize,
+    /// Penalty when an episode contains no guess at all.
+    pub no_guess_penalty: f32,
+    /// Optional autocorrelation shaping.
+    pub autocorr: Option<AutocorrPenalty>,
+    /// Optional SVM detection shaping.
+    pub svm: Option<SvmPenalty>,
+}
+
+impl MultiGuessConfig {
+    /// The paper's Fig. 3 setting: 4-set direct-mapped cache, victim 0–3,
+    /// attacker 4–7, 160-step episodes.
+    pub fn fig3_baseline() -> Self {
+        let mut base = EnvConfig::prime_probe_dm4();
+        base.window_size = 16;
+        Self { base, episode_len: 160, no_guess_penalty: -2.0, autocorr: None, svm: None }
+    }
+
+    /// Adds the autocorrelation L2 penalty (RL-autocor).
+    pub fn with_autocorr(mut self, weight: f32, max_lag: usize) -> Self {
+        self.autocorr = Some(AutocorrPenalty { weight, max_lag });
+        self
+    }
+
+    /// Adds the SVM detection penalty (RL-SVM).
+    pub fn with_svm(mut self, svm: LinearSvm, features: CycloneFeatures, penalty: f32) -> Self {
+        self.svm = Some(SvmPenalty { svm, features, penalty });
+        self
+    }
+}
+
+/// Statistics of a finished episode.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EpisodeStats {
+    /// Steps taken.
+    pub steps: usize,
+    /// Number of guesses made.
+    pub guesses: usize,
+    /// Number of correct guesses.
+    pub correct_guesses: usize,
+    /// Maximum autocorrelation of the episode's conflict-miss train.
+    pub max_autocorr: f64,
+    /// Whether the SVM (if configured) flagged the episode.
+    pub svm_detected: bool,
+    /// Total victim misses during the episode.
+    pub victim_misses: usize,
+}
+
+impl EpisodeStats {
+    /// Bit rate in guesses per step (paper Table VIII metric).
+    pub fn bit_rate(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.guesses as f64 / self.steps as f64
+        }
+    }
+
+    /// Guess accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.guesses == 0 {
+            0.0
+        } else {
+            self.correct_guesses as f64 / self.guesses as f64
+        }
+    }
+}
+
+/// Multi-secret fixed-length environment.
+#[derive(Clone, Debug)]
+pub struct MultiGuessEnv {
+    config: MultiGuessConfig,
+    space: ActionSpace,
+    encoder: ObsEncoder,
+    backend: Backend,
+    secret: Secret,
+    secret_queue: VecDeque<Secret>,
+    history: Vec<StepRecord>,
+    episode_events: Vec<CacheEvent>,
+    victim_triggered: bool,
+    steps: usize,
+    done: bool,
+    stats: EpisodeStats,
+}
+
+impl MultiGuessEnv {
+    /// Creates the environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the base config is invalid, uses a hardware
+    /// backend (detectors need the simulator's event stream), or the episode
+    /// length is shorter than 2.
+    pub fn new(config: MultiGuessConfig) -> Result<Self, String> {
+        config.base.validate()?;
+        if config.episode_len < 2 {
+            return Err("episode_len must be at least 2".into());
+        }
+        if matches!(config.base.cache, CacheSpec::Hardware(_)) {
+            return Err("multi-guess detector episodes require a simulated cache".into());
+        }
+        let space = ActionSpace::from_config(&config.base);
+        let encoder = ObsEncoder::new(config.base.window_size, space.len());
+        let backend = Backend::from_spec(&config.base.cache, 0);
+        Ok(Self {
+            config,
+            space,
+            encoder,
+            backend,
+            secret: Secret::NoAccess,
+            secret_queue: VecDeque::new(),
+            history: Vec::new(),
+            episode_events: Vec::new(),
+            victim_triggered: false,
+            steps: 0,
+            done: true,
+            stats: EpisodeStats::default(),
+        })
+    }
+
+    /// The action space.
+    pub fn action_space(&self) -> &ActionSpace {
+        &self.space
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MultiGuessConfig {
+        &self.config
+    }
+
+    /// Current secret (covert-channel evaluation).
+    pub fn secret(&self) -> Secret {
+        self.secret
+    }
+
+    /// Queues secrets to transmit in order (covert-channel sender role);
+    /// when the queue empties, secrets are random again.
+    pub fn queue_secrets(&mut self, secrets: impl IntoIterator<Item = Secret>) {
+        self.secret_queue.extend(secrets);
+    }
+
+    /// Statistics of the episode in progress (or just finished).
+    pub fn stats(&self) -> &EpisodeStats {
+        &self.stats
+    }
+
+    /// The full event log of the episode so far.
+    pub fn episode_events(&self) -> &[CacheEvent] {
+        &self.episode_events
+    }
+
+    fn sample_secret(&mut self, rng: &mut StdRng) -> Secret {
+        if let Some(s) = self.secret_queue.pop_front() {
+            return s;
+        }
+        let num_victim = self.config.base.num_victim_addrs();
+        let options = num_victim + usize::from(self.config.base.victim_no_access_enable);
+        let pick = rng.gen_range(0..options);
+        if pick < num_victim {
+            Secret::Addr(self.config.base.victim_addr_s + pick as u64)
+        } else {
+            Secret::NoAccess
+        }
+    }
+
+    fn end_of_episode_penalty(&mut self) -> (f32, bool) {
+        let mut penalty = 0.0;
+        let mut detected = false;
+        if self.stats.guesses == 0 {
+            penalty += self.config.no_guess_penalty;
+        }
+        let train = EventTrain::from_events(self.episode_events.iter());
+        if let Some(ac) = &self.config.autocorr {
+            let sum_sq: f64 = (1..=ac.max_lag)
+                .map(|p| train.autocorrelation(p).powi(2))
+                .sum();
+            penalty += ac.weight * (sum_sq / ac.max_lag as f64) as f32;
+        }
+        self.stats.max_autocorr = train.max_autocorrelation(
+            self.config.autocorr.as_ref().map(|a| a.max_lag).unwrap_or(30),
+        );
+        if let Some(svm) = &self.config.svm {
+            let features = svm.features.extract(&self.episode_events);
+            if svm.svm.predict(&features) == 1 {
+                penalty += svm.penalty;
+                self.stats.svm_detected = true;
+                detected = true;
+            }
+        }
+        (penalty, detected)
+    }
+}
+
+impl Environment for MultiGuessEnv {
+    fn obs_dim(&self) -> usize {
+        self.encoder.obs_dim()
+    }
+
+    fn num_actions(&self) -> usize {
+        self.space.len()
+    }
+
+    fn token_dim(&self) -> usize {
+        self.encoder.token_dim()
+    }
+
+    fn window(&self) -> usize {
+        self.config.base.window_size
+    }
+
+    fn reset(&mut self, rng: &mut StdRng) -> Vec<f32> {
+        self.backend.reset();
+        let lo = self.config.base.attacker_addr_s.min(self.config.base.victim_addr_s);
+        let hi = self.config.base.attacker_addr_e.max(self.config.base.victim_addr_e);
+        for _ in 0..self.config.base.init_accesses {
+            let addr = rng.gen_range(lo..=hi);
+            self.backend.access(addr, autocat_cache::Domain::Attacker);
+        }
+        let _ = self.backend.drain_events();
+        self.secret = self.sample_secret(rng);
+        self.history.clear();
+        self.episode_events.clear();
+        self.victim_triggered = false;
+        self.steps = 0;
+        self.done = false;
+        self.stats = EpisodeStats::default();
+        self.encoder.encode(&self.history, false)
+    }
+
+    fn step(&mut self, action: usize, rng: &mut StdRng) -> StepResult {
+        assert!(!self.done, "step on finished episode; call reset first");
+        let rewards = self.config.base.rewards;
+        let decoded = self.space.decode(action);
+        self.steps += 1;
+        self.stats.steps = self.steps;
+        let mut info = StepInfo::default();
+        let mut reward = rewards.step;
+        let latency = match decoded {
+            Action::Access(x) => {
+                let (hit, _) = self.backend.access(x, autocat_cache::Domain::Attacker);
+                if hit {
+                    Latency::Hit
+                } else {
+                    Latency::Miss
+                }
+            }
+            Action::Flush(x) => {
+                self.backend.flush(x, autocat_cache::Domain::Attacker);
+                Latency::NotAvailable
+            }
+            Action::TriggerVictim => {
+                self.victim_triggered = true;
+                if let Secret::Addr(s) = self.secret {
+                    let (_, true_hit) = self.backend.access(s, autocat_cache::Domain::Victim);
+                    if !true_hit {
+                        self.stats.victim_misses += 1;
+                        if self.config.base.detection == DetectionMode::VictimMiss {
+                            reward += rewards.detection;
+                            info.detected = true;
+                        }
+                    }
+                }
+                Latency::NotAvailable
+            }
+            Action::Guess(y) => {
+                // Guesses concern the victim's triggered access; an
+                // un-triggered guess is always wrong (and does not consume
+                // the secret).
+                let correct = self.victim_triggered && self.secret == Secret::Addr(y);
+                self.stats.guesses += 1;
+                self.stats.correct_guesses += usize::from(correct);
+                info.guessed = Some(correct);
+                reward = if correct { rewards.correct_guess } else { rewards.wrong_guess };
+                if self.victim_triggered {
+                    // Next secret; the victim must be re-triggered for it.
+                    self.secret = self.sample_secret(rng);
+                    self.victim_triggered = false;
+                }
+                Latency::NotAvailable
+            }
+            Action::GuessNoAccess => {
+                let correct = self.victim_triggered && self.secret == Secret::NoAccess;
+                self.stats.guesses += 1;
+                self.stats.correct_guesses += usize::from(correct);
+                info.guessed = Some(correct);
+                reward = if correct { rewards.correct_guess } else { rewards.wrong_guess };
+                if self.victim_triggered {
+                    self.secret = self.sample_secret(rng);
+                    self.victim_triggered = false;
+                }
+                Latency::NotAvailable
+            }
+        };
+        self.episode_events.extend(self.backend.drain_events());
+        self.history.push(StepRecord {
+            action,
+            latency,
+            step_index: (self.steps - 1) % self.config.base.window_size,
+            victim_triggered: self.victim_triggered,
+        });
+        let mut done = false;
+        if self.steps >= self.config.episode_len {
+            done = true;
+            let (penalty, detected) = self.end_of_episode_penalty();
+            reward += penalty;
+            info.detected |= detected;
+        }
+        self.done = done;
+        StepResult { obs: self.encoder.encode(&self.history, false), reward, done, info }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocat_detect::svm::SvmTrainConfig;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(123)
+    }
+
+    /// Scripted textbook prime+probe over the whole episode.
+    fn run_textbook(env: &mut MultiGuessEnv, r: &mut StdRng) {
+        env.reset(r);
+        let space = env.action_space().clone();
+        let mut primed: Option<Vec<bool>> = None;
+        'outer: loop {
+            // Prime 4..8.
+            for a in 4..8u64 {
+                let res = env.step(space.encode(Action::Access(a)).unwrap(), r);
+                if res.done {
+                    break 'outer;
+                }
+            }
+            // Trigger.
+            let res = env.step(space.encode(Action::TriggerVictim).unwrap(), r);
+            if res.done {
+                break;
+            }
+            // Probe and record misses.
+            let mut miss_set = None;
+            for a in 4..8u64 {
+                let res = env.step(space.encode(Action::Access(a)).unwrap(), r);
+                if res.obs[1] == 1.0 && miss_set.is_none() {
+                    miss_set = Some(a - 4);
+                }
+                if res.done {
+                    break 'outer;
+                }
+            }
+            let guess = miss_set.unwrap_or(0);
+            let res = env.step(space.encode(Action::Guess(guess)).unwrap(), r);
+            primed = None;
+            let _ = &primed;
+            if res.done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn episode_has_fixed_length() {
+        let mut env = MultiGuessEnv::new(MultiGuessConfig::fig3_baseline()).unwrap();
+        let mut r = rng();
+        env.reset(&mut r);
+        let mut steps = 0;
+        loop {
+            let res = env.step(0, &mut r);
+            steps += 1;
+            if res.done {
+                break;
+            }
+        }
+        assert_eq!(steps, 160);
+    }
+
+    #[test]
+    fn textbook_prime_probe_is_accurate_and_periodic() {
+        let mut env = MultiGuessEnv::new(
+            MultiGuessConfig::fig3_baseline().with_autocorr(-1.0, 30),
+        )
+        .unwrap();
+        let mut r = rng();
+        run_textbook(&mut env, &mut r);
+        let stats = env.stats().clone();
+        assert!(stats.guesses >= 10, "guesses {}", stats.guesses);
+        assert!(stats.accuracy() > 0.95, "accuracy {}", stats.accuracy());
+        assert!(
+            stats.max_autocorr > 0.75,
+            "textbook PP should look periodic, C = {}",
+            stats.max_autocorr
+        );
+    }
+
+    #[test]
+    fn guess_rearms_secret() {
+        let mut env = MultiGuessEnv::new(MultiGuessConfig::fig3_baseline()).unwrap();
+        let mut r = rng();
+        env.queue_secrets([Secret::Addr(1), Secret::Addr(2)]);
+        env.reset(&mut r);
+        assert_eq!(env.secret(), Secret::Addr(1));
+        let g = env.action_space().encode(Action::Guess(1)).unwrap();
+        // A guess before triggering the victim is wrong and keeps the secret.
+        let res = env.step(g, &mut r);
+        assert_eq!(res.info.guessed, Some(false));
+        assert_eq!(env.secret(), Secret::Addr(1));
+        // Trigger, then guess: correct, and the next secret is armed.
+        env.step(env.action_space().encode(Action::TriggerVictim).unwrap(), &mut r);
+        let res = env.step(g, &mut r);
+        assert_eq!(res.info.guessed, Some(true));
+        assert_eq!(env.secret(), Secret::Addr(2));
+    }
+
+    #[test]
+    fn no_guess_penalty_applied() {
+        let mut cfg = MultiGuessConfig::fig3_baseline();
+        cfg.episode_len = 8;
+        cfg.no_guess_penalty = -5.0;
+        let mut env = MultiGuessEnv::new(cfg).unwrap();
+        let mut r = rng();
+        env.reset(&mut r);
+        let mut total = 0.0;
+        loop {
+            let res = env.step(0, &mut r);
+            total += res.reward;
+            if res.done {
+                break;
+            }
+        }
+        assert!(total < -5.0 + 0.5, "total {total} must include no-guess penalty");
+    }
+
+    #[test]
+    fn svm_penalty_marks_detection() {
+        // Train a trivial SVM that flags anything with cyclic activity.
+        let features = CycloneFeatures::new(4);
+        let data = vec![
+            (vec![0.0, 0.0, 0.0, 0.0], -1i8),
+            (vec![5.0, 5.0, 5.0, 5.0], 1i8),
+            (vec![0.5, 0.0, 0.0, 0.0], -1i8),
+            (vec![4.0, 6.0, 5.0, 4.0], 1i8),
+        ];
+        let svm = LinearSvm::train(&data, &SvmTrainConfig::default(), &mut rng());
+        let mut cfg = MultiGuessConfig::fig3_baseline().with_svm(svm, features, -3.0);
+        cfg.episode_len = 80;
+        let mut env = MultiGuessEnv::new(cfg).unwrap();
+        let mut r = rng();
+        run_textbook(&mut env, &mut r);
+        assert!(env.stats().svm_detected, "textbook PP must trip the toy SVM");
+    }
+
+    #[test]
+    fn hardware_backend_rejected() {
+        let mut cfg = MultiGuessConfig::fig3_baseline();
+        cfg.base.cache = CacheSpec::Hardware(crate::hardware::HardwareProfile::SkylakeL1);
+        assert!(MultiGuessEnv::new(cfg).is_err());
+    }
+}

@@ -1,0 +1,17 @@
+//! Neural-network layers with cached forward passes and manual backward
+//! passes.
+//!
+//! Each layer caches whatever it needs from the forward pass so its
+//! `backward` method can compute input gradients and accumulate parameter
+//! gradients into its [`crate::Param`]s. Layers are stateful and not
+//! thread-safe by design: one layer instance belongs to one model.
+
+mod activation;
+mod attention;
+mod layernorm;
+mod linear;
+
+pub use activation::{Activation, ActivationKind};
+pub use attention::MultiHeadAttention;
+pub use layernorm::LayerNorm;
+pub use linear::Linear;

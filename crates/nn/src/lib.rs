@@ -1,0 +1,46 @@
+//! Minimal neural-network substrate for the AutoCAT reproduction.
+//!
+//! The AutoCAT paper trains its RL agent with PPO on top of either an MLP or
+//! a Transformer-encoder backbone (Sec. IV-C / VI-B). Mature autograd crates
+//! are not available offline, so this crate hand-rolls exactly what PPO
+//! needs:
+//!
+//! * [`Matrix`] — a dense row-major `f32` matrix with the linear-algebra
+//!   kernels used by the layers.
+//! * [`layers`] — `Linear`, activations, `LayerNorm`, multi-head
+//!   self-attention, each with a cached forward pass and a manual backward
+//!   pass that accumulates gradients into [`Param`]s.
+//! * [`models`] — [`models::MlpPolicy`] and [`models::TransformerPolicy`],
+//!   both implementing [`models::PolicyValueNet`] (shared trunk, categorical
+//!   policy head, scalar value head).
+//! * [`optim::Adam`] — the Adam optimizer (per-parameter moments).
+//! * [`dist::Categorical`] — sampling, log-probabilities and entropy for the
+//!   discrete action distribution, plus the analytic gradients PPO needs.
+//!
+//! # Example
+//!
+//! ```
+//! use autocat_nn::models::{MlpConfig, MlpPolicy, PolicyValueNet};
+//! use autocat_nn::Matrix;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut net = MlpPolicy::new(&MlpConfig::new(8, 4), &mut rng);
+//! let obs = Matrix::zeros(1, 8);
+//! let (logits, values) = net.forward(&obs);
+//! assert_eq!(logits.cols(), 4);
+//! assert_eq!(values.len(), 1);
+//! ```
+
+pub mod dist;
+pub mod init;
+pub mod layers;
+pub mod matrix;
+pub mod models;
+pub mod optim;
+pub mod param;
+
+pub use dist::Categorical;
+pub use matrix::Matrix;
+pub use optim::Adam;
+pub use param::Param;

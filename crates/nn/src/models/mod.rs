@@ -1,0 +1,51 @@
+//! Policy/value network models: MLP and Transformer-encoder backbones.
+
+mod mlp;
+mod transformer;
+
+pub use mlp::{MlpConfig, MlpPolicy};
+pub use transformer::{TransformerConfig, TransformerPolicy};
+
+use crate::matrix::Matrix;
+use crate::param::Param;
+
+/// A network with a categorical policy head and a scalar value head.
+///
+/// PPO interacts with models exclusively through this trait so the MLP and
+/// Transformer backbones (paper Sec. IV-C / VI-B) are interchangeable.
+pub trait PolicyValueNet {
+    /// Batched inference pass: returns `(logits, values)` where `logits` is
+    /// `(batch, num_actions)` and `values` has one entry per row of `obs`.
+    ///
+    /// No gradient state is retained; use during rollout collection and
+    /// evaluation.
+    fn forward(&mut self, obs: &Matrix) -> (Matrix, Vec<f32>);
+
+    /// Training pass over a minibatch.
+    ///
+    /// For each row `i` of `obs` the model produces `(logits_i, value_i)` and
+    /// invokes `grad_fn(i, logits_i, value_i)`, which must return the loss
+    /// gradients `(dL/dlogits_i, dL/dvalue_i)`. The model then backpropagates
+    /// and accumulates parameter gradients (call [`PolicyValueNet::zero_grad`]
+    /// first and an optimizer step afterwards).
+    fn train_batch(
+        &mut self,
+        obs: &Matrix,
+        grad_fn: &mut dyn FnMut(usize, &[f32], f32) -> (Vec<f32>, f32),
+    );
+
+    /// Zeroes all accumulated gradients.
+    fn zero_grad(&mut self);
+
+    /// Visits every parameter (for optimizer updates and grad clipping).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Total number of scalar parameters.
+    fn num_params(&self) -> usize;
+
+    /// Size of the action space.
+    fn num_actions(&self) -> usize;
+
+    /// Flattened observation dimension this model expects.
+    fn obs_dim(&self) -> usize;
+}

@@ -1,0 +1,175 @@
+//! Policy evaluation and deterministic attack-sequence extraction.
+
+use autocat_gym::Environment;
+use autocat_nn::models::PolicyValueNet;
+use autocat_nn::{Categorical, Matrix};
+use rand::rngs::StdRng;
+
+/// Aggregate evaluation statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EvalStats {
+    /// Episodes evaluated.
+    pub episodes: usize,
+    /// Episodes ending in a correct guess.
+    pub correct: usize,
+    /// Episodes ending in any guess.
+    pub guessed: usize,
+    /// Episodes terminated by a detector.
+    pub detected: usize,
+    /// Mean episode return.
+    pub avg_return: f32,
+    /// Mean episode length.
+    pub avg_length: f32,
+}
+
+impl EvalStats {
+    /// Fraction of episodes ending in a correct guess (the paper's
+    /// "accuracy" column).
+    pub fn accuracy(&self) -> f64 {
+        if self.episodes == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.episodes as f64
+        }
+    }
+
+    /// Fraction of episodes flagged by a detector.
+    pub fn detection_rate(&self) -> f64 {
+        if self.episodes == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.episodes as f64
+        }
+    }
+}
+
+/// Runs `episodes` evaluation episodes.
+///
+/// With `deterministic` the argmax action is taken; otherwise actions are
+/// sampled (needed on stochastic caches, Sec. V-C random-policy study).
+pub fn evaluate(
+    env: &mut impl Environment,
+    net: &mut dyn PolicyValueNet,
+    episodes: usize,
+    deterministic: bool,
+    rng: &mut StdRng,
+) -> EvalStats {
+    let mut stats = EvalStats { episodes, ..EvalStats::default() };
+    let mut return_sum = 0.0f32;
+    let mut length_sum = 0usize;
+    for _ in 0..episodes {
+        let mut obs = env.reset(rng);
+        loop {
+            let (logits, _) = net.forward(&Matrix::from_row(&obs));
+            let dist = Categorical::from_logits(logits.row(0));
+            let action = if deterministic { dist.argmax() } else { dist.sample(rng) };
+            let result = env.step(action, rng);
+            return_sum += result.reward;
+            length_sum += 1;
+            if result.done {
+                if let Some(correct) = result.info.guessed {
+                    stats.guessed += 1;
+                    stats.correct += usize::from(correct);
+                }
+                stats.detected += usize::from(result.info.detected);
+                break;
+            }
+            obs = result.obs;
+        }
+    }
+    stats.avg_return = return_sum / episodes.max(1) as f32;
+    stats.avg_length = length_sum as f32 / episodes.max(1) as f32;
+    stats
+}
+
+/// An attack sequence extracted by deterministic replay.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExtractedSequence {
+    /// Action indices in order.
+    pub actions: Vec<usize>,
+    /// Whether the final guess was correct.
+    pub correct: bool,
+    /// Total episode return.
+    pub episode_return: f32,
+}
+
+/// Extracts one attack sequence by greedy (argmax) replay.
+///
+/// The paper: "Once the sum of the reward within an episode is converged to
+/// a positive value, we use deterministic replay to extract the attack
+/// sequences."
+pub fn extract_sequence(
+    env: &mut impl Environment,
+    net: &mut dyn PolicyValueNet,
+    rng: &mut StdRng,
+) -> ExtractedSequence {
+    let mut obs = env.reset(rng);
+    let mut actions = Vec::new();
+    let mut episode_return = 0.0f32;
+    let correct = loop {
+        let (logits, _) = net.forward(&Matrix::from_row(&obs));
+        let action = Categorical::from_logits(logits.row(0)).argmax();
+        actions.push(action);
+        let result = env.step(action, rng);
+        episode_return += result.reward;
+        if result.done {
+            break result.info.guessed.unwrap_or(false);
+        }
+        obs = result.obs;
+    };
+    ExtractedSequence { actions, correct, episode_return }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocat_gym::{env::CacheGuessingGame, EnvConfig};
+    use autocat_nn::models::{MlpConfig, MlpPolicy};
+    use rand::SeedableRng;
+
+    fn setup() -> (CacheGuessingGame, MlpPolicy, StdRng) {
+        let env = CacheGuessingGame::new(EnvConfig::flush_reload_fa4()).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let net = MlpPolicy::new(
+            &MlpConfig::new(env.obs_dim(), env.num_actions()).with_hidden(vec![16]),
+            &mut rng,
+        );
+        (env, net, rng)
+    }
+
+    #[test]
+    fn evaluate_reports_consistent_counts() {
+        let (mut env, mut net, mut rng) = setup();
+        let stats = evaluate(&mut env, &mut net, 20, false, &mut rng);
+        assert_eq!(stats.episodes, 20);
+        assert!(stats.correct <= stats.guessed);
+        assert!(stats.guessed <= stats.episodes);
+        assert!(stats.avg_length >= 1.0);
+    }
+
+    #[test]
+    fn random_policy_accuracy_is_low() {
+        let (mut env, mut net, mut rng) = setup();
+        let stats = evaluate(&mut env, &mut net, 100, false, &mut rng);
+        // An untrained policy on a 2-option secret can't exceed ~60%.
+        assert!(stats.accuracy() < 0.7, "accuracy {}", stats.accuracy());
+    }
+
+    #[test]
+    fn extract_sequence_terminates() {
+        let (mut env, mut net, mut rng) = setup();
+        let seq = extract_sequence(&mut env, &mut net, &mut rng);
+        assert!(!seq.actions.is_empty());
+        assert!(seq.actions.len() <= 32, "episode limit must bound the sequence");
+    }
+
+    #[test]
+    fn deterministic_replay_is_reproducible_given_same_secret() {
+        use autocat_gym::env::Secret;
+        let (mut env, mut net, mut rng) = setup();
+        env.force_secret(Some(Secret::Addr(0)));
+        let a = extract_sequence(&mut env, &mut net, &mut rng);
+        let b = extract_sequence(&mut env, &mut net, &mut rng);
+        assert_eq!(a.actions, b.actions, "greedy replay must be deterministic");
+    }
+}

@@ -1,0 +1,34 @@
+//! Hand-rolled PPO for the AutoCAT reproduction (paper Sec. IV-C).
+//!
+//! The paper trains its agent with proximal policy optimization on an MLP
+//! or Transformer backbone. No mature RL crate exists offline, so this
+//! crate implements the full loop from scratch on top of `autocat-nn`:
+//!
+//! * [`rollout`] — trajectory collection and generalized advantage
+//!   estimation (GAE-λ),
+//! * [`trainer`] — the clipped-surrogate PPO update with entropy bonus,
+//!   value loss, advantage normalization and global gradient clipping,
+//! * [`eval`] — greedy evaluation and deterministic replay used to extract
+//!   attack sequences from a converged policy ("Once the sum of the reward
+//!   within an episode is converged to a positive value, we use
+//!   deterministic replay to extract the attack sequences").
+//!
+//! # Example
+//!
+//! ```no_run
+//! use autocat_gym::{EnvConfig, env::CacheGuessingGame};
+//! use autocat_ppo::{Backbone, PpoConfig, Trainer};
+//!
+//! let env = CacheGuessingGame::new(EnvConfig::flush_reload_fa4()).unwrap();
+//! let mut trainer = Trainer::new(env, Backbone::default_mlp(), PpoConfig::default(), 0);
+//! let result = trainer.train_until(0.8, 200_000);
+//! println!("converged: {:?}", result.converged_at_steps);
+//! ```
+
+pub mod eval;
+pub mod rollout;
+pub mod trainer;
+
+pub use eval::{EvalStats, ExtractedSequence};
+pub use rollout::{gae, RolloutBatch};
+pub use trainer::{Backbone, PpoConfig, TrainResult, Trainer, UpdateStats};

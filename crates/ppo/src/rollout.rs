@@ -1,0 +1,271 @@
+//! Trajectory collection and generalized advantage estimation.
+
+use autocat_gym::Environment;
+use autocat_nn::models::PolicyValueNet;
+use autocat_nn::{Categorical, Matrix};
+use rand::rngs::StdRng;
+
+/// A batch of transitions collected from the environment, with advantages
+/// and value targets already computed.
+#[derive(Clone, Debug)]
+pub struct RolloutBatch {
+    /// Observations, one row per transition.
+    pub obs: Matrix,
+    /// Action indices.
+    pub actions: Vec<usize>,
+    /// Behaviour-policy log-probabilities at collection time.
+    pub logps: Vec<f32>,
+    /// GAE advantages (normalized by the trainer).
+    pub advantages: Vec<f32>,
+    /// Discounted value targets (`advantage + value`).
+    pub returns: Vec<f32>,
+    /// Episode statistics observed while collecting.
+    pub episodes: EpisodeTally,
+}
+
+/// Aggregate statistics over the episodes finished during collection.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EpisodeTally {
+    /// Episodes completed.
+    pub count: usize,
+    /// Sum of episode returns.
+    pub return_sum: f32,
+    /// Sum of episode lengths.
+    pub length_sum: usize,
+    /// Episodes that ended with a correct guess.
+    pub correct: usize,
+    /// Episodes that ended with any guess.
+    pub guessed: usize,
+    /// Episodes terminated by a detector.
+    pub detected: usize,
+}
+
+impl EpisodeTally {
+    /// Mean episode return (0 when no episode finished).
+    pub fn avg_return(&self) -> f32 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.return_sum / self.count as f32
+        }
+    }
+
+    /// Mean episode length.
+    pub fn avg_length(&self) -> f32 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.length_sum as f32 / self.count as f32
+        }
+    }
+
+    /// Fraction of finished episodes ending in a correct guess.
+    pub fn accuracy(&self) -> f32 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.correct as f32 / self.count as f32
+        }
+    }
+}
+
+/// Computes GAE-λ advantages and returns.
+///
+/// `values` has one entry per transition plus one bootstrap value for the
+/// state after the last transition (0 if that state was terminal).
+///
+/// # Panics
+///
+/// Panics if `values.len() != rewards.len() + 1` or the `dones` length
+/// mismatches.
+pub fn gae(
+    rewards: &[f32],
+    values: &[f32],
+    dones: &[bool],
+    gamma: f32,
+    lambda: f32,
+) -> (Vec<f32>, Vec<f32>) {
+    assert_eq!(values.len(), rewards.len() + 1, "values needs a bootstrap entry");
+    assert_eq!(dones.len(), rewards.len(), "dones length mismatch");
+    let n = rewards.len();
+    let mut advantages = vec![0.0f32; n];
+    let mut last_adv = 0.0f32;
+    for t in (0..n).rev() {
+        let next_value = if dones[t] { 0.0 } else { values[t + 1] };
+        let delta = rewards[t] + gamma * next_value - values[t];
+        last_adv = delta + if dones[t] { 0.0 } else { gamma * lambda * last_adv };
+        advantages[t] = last_adv;
+    }
+    let returns: Vec<f32> =
+        advantages.iter().zip(values[..n].iter()).map(|(a, v)| a + v).collect();
+    (advantages, returns)
+}
+
+/// Collects `horizon` transitions from `env` under the current policy.
+///
+/// Episodes are reset as needed; the final partial episode is bootstrapped
+/// with the value estimate of its last observation.
+pub fn collect(
+    env: &mut impl Environment,
+    net: &mut dyn PolicyValueNet,
+    horizon: usize,
+    gamma: f32,
+    lambda: f32,
+    rng: &mut StdRng,
+) -> RolloutBatch {
+    let obs_dim = env.obs_dim();
+    let mut obs_rows: Vec<f32> = Vec::with_capacity(horizon * obs_dim);
+    let mut actions = Vec::with_capacity(horizon);
+    let mut logps = Vec::with_capacity(horizon);
+    let mut rewards = Vec::with_capacity(horizon);
+    let mut dones = Vec::with_capacity(horizon);
+    let mut values = Vec::with_capacity(horizon + 1);
+    let mut tally = EpisodeTally::default();
+
+    let mut obs = env.reset(rng);
+    let mut episode_return = 0.0f32;
+    let mut episode_len = 0usize;
+    for _ in 0..horizon {
+        let obs_mat = Matrix::from_row(&obs);
+        let (logits, vals) = net.forward(&obs_mat);
+        let dist = Categorical::from_logits(logits.row(0));
+        let action = dist.sample(rng);
+        let logp = dist.log_prob(action);
+        let result = env.step(action, rng);
+
+        obs_rows.extend_from_slice(&obs);
+        actions.push(action);
+        logps.push(logp);
+        rewards.push(result.reward);
+        dones.push(result.done);
+        values.push(vals[0]);
+
+        episode_return += result.reward;
+        episode_len += 1;
+        if result.done {
+            tally.count += 1;
+            tally.return_sum += episode_return;
+            tally.length_sum += episode_len;
+            if let Some(correct) = result.info.guessed {
+                tally.guessed += 1;
+                tally.correct += usize::from(correct);
+            }
+            tally.detected += usize::from(result.info.detected);
+            episode_return = 0.0;
+            episode_len = 0;
+            obs = env.reset(rng);
+        } else {
+            obs = result.obs;
+        }
+    }
+    // Bootstrap value for the state after the last collected transition.
+    let bootstrap = if *dones.last().unwrap_or(&true) {
+        0.0
+    } else {
+        let obs_mat = Matrix::from_row(&obs);
+        let (_, vals) = net.forward(&obs_mat);
+        vals[0]
+    };
+    values.push(bootstrap);
+
+    let (advantages, returns) = gae(&rewards, &values, &dones, gamma, lambda);
+    RolloutBatch {
+        obs: Matrix::from_vec(actions.len(), obs_dim, obs_rows),
+        actions,
+        logps,
+        advantages,
+        returns,
+        episodes: tally,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gae_single_step_terminal() {
+        // One terminal step: advantage = r - v.
+        let (adv, ret) = gae(&[1.0], &[0.3, 0.0], &[true], 0.99, 0.95);
+        assert!((adv[0] - 0.7).abs() < 1e-6);
+        assert!((ret[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gae_bootstraps_nonterminal_tail() {
+        // Non-terminal last step uses the bootstrap value.
+        let (adv, _) = gae(&[0.0], &[0.0, 1.0], &[false], 0.5, 1.0);
+        // delta = 0 + 0.5*1 - 0 = 0.5
+        assert!((adv[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gae_decays_across_steps() {
+        let rewards = [0.0, 0.0, 1.0];
+        let values = [0.0, 0.0, 0.0, 0.0];
+        let dones = [false, false, true];
+        let (adv, _) = gae(&rewards, &values, &dones, 1.0, 1.0);
+        // With gamma = lambda = 1 and zero values, every advantage equals
+        // the total future reward.
+        assert!((adv[0] - 1.0).abs() < 1e-6);
+        assert!((adv[1] - 1.0).abs() < 1e-6);
+        assert!((adv[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gae_respects_episode_boundaries() {
+        // Two one-step episodes: the second's reward must not leak into the
+        // first's advantage.
+        let rewards = [1.0, -1.0];
+        let values = [0.0, 0.0, 0.0];
+        let dones = [true, true];
+        let (adv, _) = gae(&rewards, &values, &dones, 0.99, 0.95);
+        assert!((adv[0] - 1.0).abs() < 1e-6);
+        assert!((adv[1] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "bootstrap entry")]
+    fn gae_requires_bootstrap() {
+        let _ = gae(&[1.0], &[0.0], &[true], 0.99, 0.95);
+    }
+
+    mod with_env {
+        use super::*;
+        use autocat_gym::{env::CacheGuessingGame, EnvConfig};
+        use autocat_nn::models::{MlpConfig, MlpPolicy};
+        use rand::SeedableRng;
+
+        #[test]
+        fn collect_produces_full_horizon() {
+            let mut env = CacheGuessingGame::new(EnvConfig::flush_reload_fa4()).unwrap();
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut net = MlpPolicy::new(
+                &MlpConfig::new(env.obs_dim(), env.num_actions()).with_hidden(vec![16]),
+                &mut rng,
+            );
+            let batch = collect(&mut env, &mut net, 200, 0.99, 0.95, &mut rng);
+            assert_eq!(batch.actions.len(), 200);
+            assert_eq!(batch.obs.rows(), 200);
+            assert_eq!(batch.logps.len(), 200);
+            assert_eq!(batch.advantages.len(), 200);
+            assert!(batch.episodes.count > 0, "200 steps must finish episodes");
+            // Log-probs must be valid (finite, non-positive).
+            assert!(batch.logps.iter().all(|l| l.is_finite() && *l <= 0.0));
+        }
+
+        #[test]
+        fn collect_tally_tracks_guesses() {
+            let mut env = CacheGuessingGame::new(EnvConfig::flush_reload_fa4()).unwrap();
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut net = MlpPolicy::new(
+                &MlpConfig::new(env.obs_dim(), env.num_actions()).with_hidden(vec![16]),
+                &mut rng,
+            );
+            let batch = collect(&mut env, &mut net, 500, 0.99, 0.95, &mut rng);
+            // A random policy guesses sometimes; guessed <= episodes.
+            assert!(batch.episodes.guessed <= batch.episodes.count);
+            assert!(batch.episodes.correct <= batch.episodes.guessed);
+        }
+    }
+}

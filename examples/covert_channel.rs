@@ -1,0 +1,32 @@
+//! The StealthyStreamline covert channel on modelled machines (Table X).
+//!
+//! Run with: `cargo run --release --example covert_channel`
+
+use autocat::attacks::stealthy::StealthyStreamline;
+use autocat::attacks::{ChannelKind, CovertChannelModel, MachineModel};
+use autocat::cache::PolicyKind;
+
+fn main() {
+    // End-to-end transmission through the cache model.
+    let ss = StealthyStreamline::new(8, PolicyKind::Lru, 2);
+    let message: Vec<u64> = vec![2, 0, 3, 1, 1, 2, 3, 0, 2, 2];
+    let decoded = ss.transmit(&message, || false);
+    println!("sent    : {message:?}");
+    println!("decoded : {:?}", decoded.iter().map(|d| d.unwrap()).collect::<Vec<_>>());
+
+    // Bit rates on the Table X machines.
+    println!("\nmachine            LRU (Mbps)  SS (Mbps)  improvement");
+    for m in MachineModel::table10_machines() {
+        let lru = CovertChannelModel::new(m.clone(), ChannelKind::LruAddrBased)
+            .best_rate_under(0.05, 100, 1);
+        let ss = CovertChannelModel::new(m.clone(), ChannelKind::StealthyStreamline2)
+            .best_rate_under(0.05, 100, 1);
+        println!(
+            "{:<18} {:>9.1} {:>10.1} {:>10.0}%",
+            m.name,
+            lru,
+            ss,
+            (ss / lru - 1.0) * 100.0
+        );
+    }
+}

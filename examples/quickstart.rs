@@ -1,0 +1,26 @@
+//! Quickstart: let the RL agent discover a flush+reload attack on the
+//! paper's Table IV config 6 (fully-associative 4-way LRU cache, shared
+//! address 0, flush enabled).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use autocat::gym::EnvConfig;
+use autocat::Explorer;
+
+fn main() {
+    println!("AutoCAT quickstart: exploring config 6 (expected: flush+reload)");
+    let report = Explorer::new(EnvConfig::flush_reload_fa4())
+        .seed(1)
+        .max_steps(300_000)
+        .run()
+        .expect("valid configuration");
+    println!("attack sequence : {}", report.sequence_notation);
+    println!("category        : {}", report.category);
+    println!("guess accuracy  : {:.3}", report.accuracy);
+    println!("training steps  : {}", report.training_steps);
+    if let Some(epochs) = report.epochs_to_converge {
+        println!("converged after : {epochs:.1} paper-epochs (3000 steps each)");
+    } else {
+        println!("did not converge within the step budget — try more steps");
+    }
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate for the AutoCAT reproduction workspace.
+//!
+//! This crate exists to host the repository-level `examples/` and `tests/`
+//! directories; the actual functionality lives in the `autocat` facade crate
+//! and the substrate crates under `crates/`.
+
+pub use autocat;

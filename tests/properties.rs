@@ -1,0 +1,213 @@
+//! Property-based tests over the core data structures and invariants.
+
+use autocat::cache::{Cache, CacheConfig, Domain, PolicyKind};
+use autocat::detect::EventTrain;
+use autocat::gym::obs::{Latency, ObsEncoder, StepRecord};
+use autocat::nn::{Categorical, Matrix};
+use autocat::ppo::gae;
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Lru),
+        Just(PolicyKind::Plru),
+        Just(PolicyKind::Rrip),
+        Just(PolicyKind::Nru),
+        Just(PolicyKind::Random),
+    ]
+}
+
+proptest! {
+    /// Whatever the access sequence and policy, a line that was accessed
+    /// and never evicted/flushed is exactly the set contents; capacity is
+    /// never exceeded and probe() agrees with re-access hits.
+    #[test]
+    fn cache_capacity_and_probe_consistency(
+        policy in arb_policy(),
+        ways in 1usize..8,
+        sets in 1usize..4,
+        accesses in prop::collection::vec(0u64..32, 1..120),
+    ) {
+        let mut cache = Cache::new(
+            CacheConfig::new(sets, ways).with_policy(policy).with_policy_seed(7),
+        );
+        for &a in &accesses {
+            cache.access(a, Domain::Attacker);
+            // The just-accessed line must be present.
+            prop_assert!(cache.probe(a));
+        }
+        for s in 0..sets {
+            let contents = cache.set_contents(s);
+            prop_assert_eq!(contents.len(), ways);
+            for entry in contents.iter().flatten() {
+                // Every resident line was accessed and maps to this set.
+                prop_assert!(accesses.contains(&entry.0));
+                prop_assert_eq!(cache.set_index(entry.0), s);
+            }
+        }
+    }
+
+    /// Locked lines survive any access storm, for every policy.
+    #[test]
+    fn locked_lines_are_never_evicted(
+        policy in arb_policy(),
+        ways in 2usize..8,
+        accesses in prop::collection::vec(1u64..64, 1..200),
+    ) {
+        let mut cache =
+            Cache::new(CacheConfig::fully_associative(ways).with_policy(policy));
+        prop_assert!(cache.lock_line(0, Domain::Victim));
+        for &a in &accesses {
+            cache.access(a, Domain::Attacker);
+        }
+        prop_assert!(cache.probe(0));
+        prop_assert!(cache.is_locked(0));
+    }
+
+    /// Flushing removes a line; re-access always misses right after.
+    #[test]
+    fn flush_then_access_misses(
+        policy in arb_policy(),
+        ways in 1usize..8,
+        addr in 0u64..16,
+        noise in prop::collection::vec(0u64..16, 0..40),
+    ) {
+        let mut cache =
+            Cache::new(CacheConfig::fully_associative(ways).with_policy(policy));
+        for &a in &noise {
+            cache.access(a, Domain::Attacker);
+        }
+        cache.access(addr, Domain::Attacker);
+        cache.flush(addr, Domain::Attacker);
+        prop_assert!(!cache.probe(addr));
+        prop_assert!(!cache.access(addr, Domain::Attacker).hit);
+    }
+
+    /// Matrix transpose laws: (A B)^T = B^T A^T, and the fused kernels
+    /// match their explicit-transpose equivalents.
+    #[test]
+    fn matrix_transpose_laws(
+        a_vals in prop::collection::vec(-10.0f32..10.0, 12),
+        b_vals in prop::collection::vec(-10.0f32..10.0, 20),
+    ) {
+        let a = Matrix::from_vec(3, 4, a_vals);
+        let b = Matrix::from_vec(4, 5, b_vals);
+        let ab_t = a.matmul(&b).transpose();
+        let bt_at = b.transpose().matmul(&a.transpose());
+        for (x, y) in ab_t.as_slice().iter().zip(bt_at.as_slice().iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+        // Fused kernels: A^T B via matmul_tn equals the explicit transpose.
+        let fused = a.matmul_tn(&a);
+        let explicit = a.transpose().matmul(&a);
+        for (x, y) in fused.as_slice().iter().zip(explicit.as_slice().iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Categorical distributions are well-formed for any finite logits.
+    #[test]
+    fn categorical_is_normalized(
+        logits in prop::collection::vec(-20.0f32..20.0, 1..12),
+    ) {
+        let d = Categorical::from_logits(&logits);
+        let sum: f32 = d.probs().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(d.entropy() >= -1e-4);
+        prop_assert!(d.entropy() <= (logits.len() as f32).ln() + 1e-4);
+        for a in 0..logits.len() {
+            prop_assert!((d.log_prob(a).exp() - d.probs()[a]).abs() < 1e-4);
+        }
+        // dlogp sums to zero (softmax gradient property).
+        let g = d.dlogp_dlogits(0);
+        let gsum: f32 = g.iter().sum();
+        prop_assert!(gsum.abs() < 1e-4);
+    }
+
+    /// Autocorrelation coefficients are bounded for any binary train.
+    #[test]
+    fn autocorrelation_is_bounded(
+        bits in prop::collection::vec(0u8..=1, 4..256),
+        lag in 1usize..16,
+    ) {
+        let train = binary_train(&bits);
+        let c = train.autocorrelation(lag);
+        prop_assert!(c.abs() < 3.0, "C_{lag} = {c} wildly out of range");
+        prop_assert!((train.autocorrelation(0) - 1.0).abs() < 1e-9
+            || train.autocorrelation(0) == 0.0);
+    }
+
+    /// Observation encoding: fixed size, exactly one latency one-hot and one
+    /// action one-hot per filled slot, zeros elsewhere.
+    #[test]
+    fn obs_encoding_is_one_hot(
+        window in 1usize..12,
+        num_actions in 1usize..10,
+        len in 0usize..20,
+    ) {
+        let enc = ObsEncoder::new(window, num_actions);
+        let history: Vec<StepRecord> = (0..len)
+            .map(|i| StepRecord {
+                action: i % num_actions,
+                latency: match i % 3 {
+                    0 => Latency::Hit,
+                    1 => Latency::Miss,
+                    _ => Latency::NotAvailable,
+                },
+                step_index: i % window,
+                victim_triggered: i % 2 == 0,
+            })
+            .collect();
+        let obs = enc.encode(&history, false);
+        prop_assert_eq!(obs.len(), enc.obs_dim());
+        let token = enc.token_dim();
+        let filled = len.min(window);
+        for slot in 0..window {
+            let base = slot * token;
+            let lat_mass: f32 = obs[base..base + 3].iter().sum();
+            let act_mass: f32 = obs[base + 3..base + 3 + num_actions].iter().sum();
+            if slot < filled {
+                prop_assert_eq!(lat_mass, 1.0);
+                prop_assert_eq!(act_mass, 1.0);
+            } else {
+                prop_assert_eq!(lat_mass, 0.0);
+                prop_assert_eq!(act_mass, 0.0);
+            }
+        }
+    }
+
+    /// GAE with gamma = 0 reduces to the one-step TD error.
+    #[test]
+    fn gae_gamma_zero_is_td_error(
+        rewards in prop::collection::vec(-2.0f32..2.0, 1..30),
+    ) {
+        let n = rewards.len();
+        let values: Vec<f32> = (0..=n).map(|i| i as f32 * 0.1).collect();
+        let dones = vec![false; n];
+        let (adv, _) = gae(&rewards, &values, &dones, 0.0, 0.95);
+        for t in 0..n {
+            prop_assert!((adv[t] - (rewards[t] - values[t])).abs() < 1e-5);
+        }
+    }
+}
+
+/// Builds an EventTrain from raw bits via synthetic eviction events.
+fn binary_train(bits: &[u8]) -> EventTrain {
+    use autocat::cache::CacheEvent;
+    let mut train = EventTrain::new();
+    for &b in bits {
+        let (victim_domain, evictor_domain) = if b == 1 {
+            (Domain::Victim, Domain::Attacker)
+        } else {
+            (Domain::Attacker, Domain::Victim)
+        };
+        train.observe(&CacheEvent::Eviction {
+            victim_domain,
+            evictor_domain,
+            evicted_addr: 0,
+            incoming_addr: 1,
+            set: 0,
+        });
+    }
+    train
+}
