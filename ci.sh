@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# CI entry point: everything a PR must pass.
+set -euo pipefail
+
+echo "==> cargo build --release"
+cargo build --release --workspace --all-targets
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

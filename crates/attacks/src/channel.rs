@@ -222,7 +222,11 @@ impl CovertChannelModel {
     /// Per-measurement flip probability at a pacing factor (rushing the
     /// sync window misclassifies more timings).
     pub fn flip_prob(&self, pacing: f64) -> f64 {
-        let rush = if pacing < 1.0 { self.machine.rush_flip * (1.0 / pacing - 1.0) } else { 0.0 };
+        let rush = if pacing < 1.0 {
+            self.machine.rush_flip * (1.0 / pacing - 1.0)
+        } else {
+            0.0
+        };
         (self.machine.base_flip + rush).min(0.5)
     }
 
@@ -299,8 +303,18 @@ mod tests {
             );
             improvements.push((m.l1_ways, r_ss / r_lru - 1.0));
         }
-        let avg_8: f64 = improvements.iter().filter(|(w, _)| *w == 8).map(|(_, i)| i).sum::<f64>() / 2.0;
-        let avg_12: f64 = improvements.iter().filter(|(w, _)| *w == 12).map(|(_, i)| i).sum::<f64>() / 2.0;
+        let avg_8: f64 = improvements
+            .iter()
+            .filter(|(w, _)| *w == 8)
+            .map(|(_, i)| i)
+            .sum::<f64>()
+            / 2.0;
+        let avg_12: f64 = improvements
+            .iter()
+            .filter(|(w, _)| *w == 12)
+            .map(|(_, i)| i)
+            .sum::<f64>()
+            / 2.0;
         assert!(
             avg_12 > avg_8,
             "12-way improvement {avg_12:.2} must exceed 8-way {avg_8:.2}"
@@ -311,10 +325,8 @@ mod tests {
     fn calibrated_rates_are_in_paper_ballpark() {
         // i7-6700: paper reports LRU 3.6 / SS 4.5 Mbps at <5% error.
         let m = MachineModel::core_i7_6700();
-        let lru = CovertChannelModel::new(m.clone(), ChannelKind::LruAddrBased)
-            .bit_rate_mbps(1.0);
-        let ss = CovertChannelModel::new(m, ChannelKind::StealthyStreamline2)
-            .bit_rate_mbps(1.0);
+        let lru = CovertChannelModel::new(m.clone(), ChannelKind::LruAddrBased).bit_rate_mbps(1.0);
+        let ss = CovertChannelModel::new(m, ChannelKind::StealthyStreamline2).bit_rate_mbps(1.0);
         assert!((lru - 3.6).abs() < 0.8, "LRU rate {lru:.2} vs paper 3.6");
         assert!((ss - 4.5).abs() < 1.0, "SS rate {ss:.2} vs paper 4.5");
     }

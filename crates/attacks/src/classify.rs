@@ -52,26 +52,45 @@ impl fmt::Display for AttackCategory {
 /// * a probe that touches *fewer* lines than the priming pass while still
 ///   deciding (possible only by reading replacement state) → LRU-based.
 pub fn classify_sequence(actions: &[Action], config: &EnvConfig) -> AttackCategory {
-    let trigger_pos = actions.iter().position(|a| matches!(a, Action::TriggerVictim));
+    let trigger_pos = actions
+        .iter()
+        .position(|a| matches!(a, Action::TriggerVictim));
     let Some(tpos) = trigger_pos else {
         return AttackCategory::Unknown;
     };
-    let is_victim_addr =
-        |a: u64| a >= config.victim_addr_s && a <= config.victim_addr_e;
+    let is_victim_addr = |a: u64| a >= config.victim_addr_s && a <= config.victim_addr_e;
     let pre = &actions[..tpos];
     let post = &actions[tpos + 1..];
 
     let pre_flushes: Vec<u64> = pre
         .iter()
-        .filter_map(|a| if let Action::Flush(x) = a { Some(*x) } else { None })
+        .filter_map(|a| {
+            if let Action::Flush(x) = a {
+                Some(*x)
+            } else {
+                None
+            }
+        })
         .collect();
     let pre_accesses: Vec<u64> = pre
         .iter()
-        .filter_map(|a| if let Action::Access(x) = a { Some(*x) } else { None })
+        .filter_map(|a| {
+            if let Action::Access(x) = a {
+                Some(*x)
+            } else {
+                None
+            }
+        })
         .collect();
     let post_accesses: Vec<u64> = post
         .iter()
-        .filter_map(|a| if let Action::Access(x) = a { Some(*x) } else { None })
+        .filter_map(|a| {
+            if let Action::Access(x) = a {
+                Some(*x)
+            } else {
+                None
+            }
+        })
         .collect();
     let has_guess = actions
         .iter()
@@ -86,8 +105,8 @@ pub fn classify_sequence(actions: &[Action], config: &EnvConfig) -> AttackCatego
     if !pre_flushes.is_empty() && shared_reload {
         return AttackCategory::FlushReload;
     }
-    let shared_space = is_victim_addr(config.attacker_addr_s)
-        || is_victim_addr(config.attacker_addr_e);
+    let shared_space =
+        is_victim_addr(config.attacker_addr_s) || is_victim_addr(config.attacker_addr_e);
     if shared_reload && !pre_accesses.is_empty() {
         // Evicted by accesses rather than flushes.
         return if private_probe {

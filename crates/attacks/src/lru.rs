@@ -77,7 +77,10 @@ pub fn run_iteration(cache: &mut Cache, iter: &LruIteration, victim_addr: Option
 /// (Measuring accesses the lines, i.e. it perturbs state exactly like the
 /// real attack's timed loads.)
 pub fn measure(cache: &mut Cache, iter: &LruIteration) -> Vec<bool> {
-    iter.measured.iter().map(|&a| cache.access(a, Domain::Attacker).hit).collect()
+    iter.measured
+        .iter()
+        .map(|&a| cache.access(a, Domain::Attacker).hit)
+        .collect()
 }
 
 /// Builds a fresh single-set cache of the given associativity and policy
@@ -126,16 +129,15 @@ mod tests {
             // The victim uses its own address 0, never shared.
             run_iteration(&mut cache, &iter, victim_accessed.then_some(0));
             let pattern = measure(&mut cache, &iter);
-            // If the victim inserted its line, it evicted the attacker's
-            // oldest (100): miss. If not, the evictor (104) evicted 100:
-            // also miss... distinguish via the second-oldest instead: when
-            // the victim accessed, BOTH 100 (evicted by victim's fill) and
-            // the survivor pattern shift. With true LRU the evictor evicts
-            // 100 in both cases, so use the victim-eviction side effect:
-            assert!(!pattern[0] || !victim_accessed || pattern[0]);
+            // Under true LRU the evictor displaces the attacker's oldest
+            // line whether or not the victim ran, so this single iteration
+            // cannot distinguish the secret; it must still produce one
+            // well-formed measurement per timed address. The discriminating
+            // signature is checked end-to-end by the channel-calibration
+            // tests in `stealthy`.
+            assert_eq!(pattern.len(), iter.measured_accesses());
+            assert!(!pattern[0], "oldest attacker line must have been evicted");
         }
-        // The discriminating signature is checked end-to-end by the
-        // channel-calibration tests in `stealthy`.
     }
 
     #[test]

@@ -54,8 +54,9 @@ pub fn random_search(
         // a latency-conditioned guess read off the final observation is NOT
         // allowed here — blind search has no adaptivity, exactly the
         // paper's point.
-        let candidate: Vec<usize> =
-            (0..seq_len).map(|_| rng.gen_range(0..num_actions)).collect();
+        let candidate: Vec<usize> = (0..seq_len)
+            .map(|_| rng.gen_range(0..num_actions))
+            .collect();
         let mut all_correct = true;
         for _ in 0..trials {
             env.reset(rng);
@@ -77,7 +78,10 @@ pub fn random_search(
             return RandomSearchResult { steps, found: true };
         }
     }
-    RandomSearchResult { steps, found: false }
+    RandomSearchResult {
+        steps,
+        found: false,
+    }
 }
 
 #[cfg(test)]

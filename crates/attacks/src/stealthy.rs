@@ -128,11 +128,7 @@ impl StealthyStreamline {
     ///
     /// `flip` optionally injects measurement noise: called per measured
     /// access, returning whether that observation flips.
-    pub fn transmit(
-        &self,
-        symbols: &[u64],
-        mut flip: impl FnMut() -> bool,
-    ) -> Vec<Option<u64>> {
+    pub fn transmit(&self, symbols: &[u64], mut flip: impl FnMut() -> bool) -> Vec<Option<u64>> {
         let table = self.calibrate();
         let mut cache = self.fresh_cache();
         // Warm up into the canonical post-measurement state.
@@ -160,8 +156,9 @@ impl StealthyStreamline {
     pub fn symbol_error_rate(&self, len: usize, flip_prob: f64, seed: u64) -> f64 {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let symbols: Vec<u64> =
-            (0..len).map(|_| rng.gen_range(0..(1u64 << self.bits))).collect();
+        let symbols: Vec<u64> = (0..len)
+            .map(|_| rng.gen_range(0..(1u64 << self.bits)))
+            .collect();
         let mut noise = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(1));
         let decoded = self.transmit(&symbols, || noise.gen_bool(flip_prob));
         let errors = symbols
@@ -199,7 +196,9 @@ impl Streamline {
     /// The paper's ASPLOS 2021 configuration: one access per bit for the
     /// sender and one timed access per bit for the receiver.
     pub fn paper() -> Self {
-        Self { accesses_per_bit: 2 }
+        Self {
+            accesses_per_bit: 2,
+        }
     }
 }
 
@@ -236,7 +235,11 @@ mod tests {
     fn two_bit_distinguishes_four_symbols_on_lru() {
         for ways in [4, 8, 12] {
             let ss = StealthyStreamline::new(ways, PolicyKind::Lru, 2);
-            assert_eq!(ss.distinguishable_symbols(), 4, "2-bit SS must separate 4 symbols on {ways}-way LRU");
+            assert_eq!(
+                ss.distinguishable_symbols(),
+                4,
+                "2-bit SS must separate 4 symbols on {ways}-way LRU"
+            );
         }
     }
 
@@ -270,7 +273,10 @@ mod tests {
     fn noise_raises_error_rate() {
         let ss = StealthyStreamline::new(8, PolicyKind::Lru, 2);
         let err = ss.symbol_error_rate(300, 0.05, 4);
-        assert!(err > 0.02, "5% flips must cause visible symbol errors, got {err}");
+        assert!(
+            err > 0.02,
+            "5% flips must cause visible symbol errors, got {err}"
+        );
         assert!(err < 0.5);
     }
 
@@ -278,7 +284,11 @@ mod tests {
     fn victim_never_misses_stealthiness() {
         for policy in [PolicyKind::Lru, PolicyKind::Plru] {
             let ss = StealthyStreamline::new(8, policy, 2);
-            assert_eq!(ss.victim_misses_during(&[0, 1, 2, 3, 2, 1]), 0, "{policy:?}");
+            assert_eq!(
+                ss.victim_misses_during(&[0, 1, 2, 3, 2, 1]),
+                0,
+                "{policy:?}"
+            );
         }
     }
 

@@ -11,7 +11,9 @@ use autocat::attacks::{ChannelKind, CovertChannelModel, MachineModel};
 use autocat::cache::{Cache, CacheConfig, Domain, PolicyKind};
 use autocat::detect::{CycloneFeatures, EventTrain};
 use autocat::gym::{env::CacheGuessingGame, EnvConfig, Environment};
-use autocat::nn::models::{MlpConfig, MlpPolicy, PolicyValueNet, TransformerConfig, TransformerPolicy};
+use autocat::nn::models::{
+    MlpConfig, MlpPolicy, PolicyValueNet, TransformerConfig, TransformerPolicy,
+};
 use autocat::nn::Matrix;
 use autocat::ppo::{Backbone, PpoConfig, Trainer};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
@@ -20,8 +22,15 @@ use std::time::Duration;
 
 fn bench_cache_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_access");
-    group.measurement_time(Duration::from_secs(1)).sample_size(30);
-    for policy in [PolicyKind::Lru, PolicyKind::Plru, PolicyKind::Rrip, PolicyKind::Random] {
+    group
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
+    for policy in [
+        PolicyKind::Lru,
+        PolicyKind::Plru,
+        PolicyKind::Rrip,
+        PolicyKind::Random,
+    ] {
         group.bench_function(policy.name(), |b| {
             let mut cache = Cache::new(CacheConfig::new(8, 8).with_policy(policy));
             let mut rng = rand::rngs::StdRng::seed_from_u64(1);
@@ -36,7 +45,9 @@ fn bench_cache_policies(c: &mut Criterion) {
 
 fn bench_env_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("env");
-    group.measurement_time(Duration::from_secs(1)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
     group.bench_function("guessing_game_step", |b| {
         let mut env = CacheGuessingGame::new(EnvConfig::flush_reload_fa4()).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
@@ -57,7 +68,9 @@ fn bench_env_step(c: &mut Criterion) {
 
 fn bench_nn(c: &mut Criterion) {
     let mut group = c.benchmark_group("nn");
-    group.measurement_time(Duration::from_secs(1)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let mut mlp = MlpPolicy::new(&MlpConfig::new(256, 11), &mut rng);
     let obs = Matrix::full(32, 256, 0.3);
@@ -79,9 +92,36 @@ fn bench_nn(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_rollout_lanes(c: &mut Criterion) {
+    // The VecEnv engine's reason to exist: collecting a fixed number of
+    // transitions must get cheaper per transition as lanes are added,
+    // because N lanes share one batched forward per step.
+    use autocat::gym::VecEnv;
+    use autocat::ppo::rollout::collect;
+    let mut group = c.benchmark_group("rollout");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+    for lanes in [1usize, 8] {
+        group.bench_function(&format!("collect_512_steps_{lanes}_lane"), |b| {
+            let env = CacheGuessingGame::new(EnvConfig::flush_reload_fa4()).unwrap();
+            let mut venv = VecEnv::new(lanes, env, 7).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            let mut net = MlpPolicy::new(
+                &MlpConfig::new(venv.obs_dim(), venv.num_actions()).with_hidden(vec![64, 64]),
+                &mut rng,
+            );
+            b.iter(|| collect(&mut venv, &mut net, 512, 0.99, 0.95, &mut rng));
+        });
+    }
+    group.finish();
+}
+
 fn bench_ppo_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("ppo");
-    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
     group.bench_function("update_256_steps", |b| {
         b.iter_batched(
             || {
@@ -90,7 +130,12 @@ fn bench_ppo_update(c: &mut Criterion) {
                 Trainer::new(
                     env,
                     Backbone::Mlp { hidden: vec![32] },
-                    PpoConfig { horizon: 256, minibatch: 64, epochs_per_update: 2, ..PpoConfig::default() },
+                    PpoConfig {
+                        horizon: 256,
+                        minibatch: 64,
+                        epochs_per_update: 2,
+                        ..PpoConfig::default()
+                    },
                     0,
                 )
             },
@@ -103,12 +148,18 @@ fn bench_ppo_update(c: &mut Criterion) {
 
 fn bench_detectors(c: &mut Criterion) {
     let mut group = c.benchmark_group("detect");
-    group.measurement_time(Duration::from_secs(1)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
     // Build a realistic event log once.
     let mut cache = Cache::new(CacheConfig::direct_mapped(4));
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
     for _ in 0..2000 {
-        let domain = if rng.gen_bool(0.5) { Domain::Attacker } else { Domain::Victim };
+        let domain = if rng.gen_bool(0.5) {
+            Domain::Attacker
+        } else {
+            Domain::Victim
+        };
         cache.access(rng.gen_range(0..16u64), domain);
     }
     let events = cache.drain_events();
@@ -125,7 +176,9 @@ fn bench_detectors(c: &mut Criterion) {
 
 fn bench_channel(c: &mut Criterion) {
     let mut group = c.benchmark_group("channel");
-    group.measurement_time(Duration::from_secs(1)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(20);
     group.bench_function("ss_transmit_64_symbols", |b| {
         let ss = StealthyStreamline::new(8, PolicyKind::Lru, 2);
         let symbols: Vec<u64> = (0..64).map(|i| i % 4).collect();
@@ -144,6 +197,7 @@ criterion_group!(
     bench_cache_policies,
     bench_env_step,
     bench_nn,
+    bench_rollout_lanes,
     bench_ppo_update,
     bench_detectors,
     bench_channel

@@ -3,7 +3,7 @@
 
 use autocat::attacks::textbook::{run_scripted_multi, TextbookPrimeProbe};
 use autocat::detect::EventTrain;
-use autocat::gym::{EnvConfig, MultiGuessConfig, MultiGuessEnv, Environment};
+use autocat::gym::{EnvConfig, Environment, MultiGuessConfig, MultiGuessEnv};
 use autocat::ppo::{eval, Backbone, PpoConfig, Trainer};
 use autocat_bench::{print_header, Budget};
 use rand::SeedableRng;
@@ -62,7 +62,9 @@ fn main() {
         let env = MultiGuessEnv::new(cfg).unwrap();
         let mut trainer = Trainer::new(
             env,
-            Backbone::Mlp { hidden: vec![64, 64] },
+            Backbone::Mlp {
+                hidden: vec![64, 64],
+            },
             PpoConfig::small_env(),
             7,
         );
@@ -72,7 +74,6 @@ fn main() {
         // One more full episode to read its event log.
         let mut obs = env.reset(rng2);
         loop {
-            use autocat::nn::models::PolicyValueNet;
             let (logits, _) = net.forward(&autocat::nn::Matrix::from_row(&obs));
             let a = autocat::nn::Categorical::from_logits(logits.row(0)).sample(rng2);
             let r = env.step(a, rng2);

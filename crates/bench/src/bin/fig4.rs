@@ -8,9 +8,12 @@ use autocat_bench::{print_header, standard_explorer, Budget};
 
 fn main() {
     let budget = Budget::from_env();
-    print_header("Fig. 4(b): sequence found by RL under miss-based detection", "");
-    let cfg = EnvConfig::replacement_study(PolicyKind::Lru)
-        .with_detection(DetectionMode::VictimMiss);
+    print_header(
+        "Fig. 4(b): sequence found by RL under miss-based detection",
+        "",
+    );
+    let cfg =
+        EnvConfig::replacement_study(PolicyKind::Lru).with_detection(DetectionMode::VictimMiss);
     let report = standard_explorer(cfg, 4, budget)
         .return_threshold(0.85)
         .run()
@@ -20,10 +23,17 @@ fn main() {
         report.sequence_notation,
         report.accuracy,
         report.category,
-        if report.converged { "" } else { "  [not converged]" },
+        if report.converged {
+            ""
+        } else {
+            "  [not converged]"
+        },
     );
 
-    print_header("Fig. 4(c): StealthyStreamline construction (4-way, 2-bit)", "");
+    print_header(
+        "Fig. 4(c): StealthyStreamline construction (4-way, 2-bit)",
+        "",
+    );
     let ss = StealthyStreamline::new(4, PolicyKind::Lru, 2);
     let it = ss.iteration();
     println!(

@@ -1,0 +1,120 @@
+//! Rollout-throughput benchmark: steps/second collected by the VecEnv
+//! engine at different lane counts, against the paper's config 6
+//! environment with the default 2x128 MLP.
+//!
+//! Run with: `cargo run --release -p autocat-bench --bin rollout_bench
+//! [-- --write]`
+//!
+//! Lane configurations are measured in interleaved repetitions and the
+//! best repetition per configuration is reported, so scheduler noise on a
+//! shared machine hits every configuration equally instead of biasing
+//! whichever one ran during a slow phase.
+//!
+//! `--write` records the results to `BENCH_rollout.json` at the repository
+//! root (the committed baseline tracks regressions across PRs).
+
+use autocat::gym::{env::CacheGuessingGame, EnvConfig, VecEnv};
+use autocat::nn::models::{MlpConfig, MlpPolicy};
+use autocat::ppo::rollout::collect;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const LANE_CONFIGS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 3;
+const STEPS_PER_REP: usize = 32_768;
+const HORIZON: usize = 2048;
+
+struct Harness {
+    venv: VecEnv<CacheGuessingGame>,
+    net: MlpPolicy,
+    rng: StdRng,
+}
+
+impl Harness {
+    fn new(lanes: usize) -> Self {
+        let env = CacheGuessingGame::new(EnvConfig::flush_reload_fa4()).unwrap();
+        let venv = VecEnv::new(lanes, env, 7).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = MlpPolicy::new(
+            &MlpConfig::new(venv.obs_dim(), venv.num_actions()).with_hidden(vec![128, 128]),
+            &mut rng,
+        );
+        let mut h = Harness { venv, net, rng };
+        // Warm-up pass (allocator, caches) before anything is timed.
+        let _ = h.run_rep(1024);
+        h
+    }
+
+    /// Collects ~`steps` transitions, returning (steps, seconds).
+    fn run_rep(&mut self, steps: usize) -> (usize, f64) {
+        let rounds = steps.div_ceil(HORIZON);
+        let mut collected = 0usize;
+        let start = Instant::now();
+        for _ in 0..rounds {
+            let batch = collect(
+                &mut self.venv,
+                &mut self.net,
+                HORIZON,
+                0.99,
+                0.95,
+                &mut self.rng,
+            );
+            collected += batch.actions.len();
+        }
+        (collected, start.elapsed().as_secs_f64())
+    }
+}
+
+fn main() {
+    let write = std::env::args().any(|a| a == "--write");
+    println!(
+        "rollout throughput (config 6, MLP 2x128, horizon {HORIZON}, best of {REPS} interleaved reps)"
+    );
+    let mut harnesses: Vec<Harness> = LANE_CONFIGS.iter().map(|&l| Harness::new(l)).collect();
+    let mut best = vec![(0usize, f64::INFINITY); LANE_CONFIGS.len()];
+    for _ in 0..REPS {
+        for (i, h) in harnesses.iter_mut().enumerate() {
+            let (steps, secs) = h.run_rep(STEPS_PER_REP);
+            let per_step = secs / steps.max(1) as f64;
+            let (best_steps, best_secs) = best[i];
+            if per_step < best_secs / best_steps.max(1) as f64 {
+                best[i] = (steps, secs);
+            }
+        }
+    }
+    println!(
+        "{:>6} {:>10} {:>10} {:>14} {:>9}",
+        "lanes", "steps", "secs", "steps/sec", "speedup"
+    );
+    let base = best[0].0 as f64 / best[0].1;
+    let mut rows = Vec::new();
+    for (&lanes, &(steps, secs)) in LANE_CONFIGS.iter().zip(best.iter()) {
+        let sps = steps as f64 / secs;
+        println!(
+            "{:>6} {:>10} {:>10.3} {:>14.0} {:>8.2}x",
+            lanes,
+            steps,
+            secs,
+            sps,
+            sps / base
+        );
+        rows.push((lanes, steps, secs, sps));
+    }
+    if write {
+        let entries: Vec<String> = rows
+            .iter()
+            .map(|(lanes, steps, secs, sps)| {
+                format!(
+                    "    {{\"lanes\": {lanes}, \"steps\": {steps}, \"secs\": {secs:.4}, \"steps_per_sec\": {sps:.1}}}"
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"benchmark\": \"rollout_throughput\",\n  \"env\": \"flush_reload_fa4\",\n  \"backbone\": \"mlp_128x128\",\n  \"horizon\": {HORIZON},\n  \"reps\": {REPS},\n  \"results\": [\n{}\n  ]\n}}\n",
+            entries.join(",\n")
+        );
+        std::fs::write("BENCH_rollout.json", &json).expect("write BENCH_rollout.json");
+        println!("wrote BENCH_rollout.json");
+    }
+}

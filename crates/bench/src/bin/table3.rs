@@ -3,8 +3,8 @@
 //! Substitution: blackbox `SimulatedProcessor` profiles stand in for the
 //! CacheQuery-driven Intel machines (DESIGN.md, substitution 1).
 
-use autocat::gym::{CacheSpec, EnvConfig, HardwareProfile};
 use autocat::cache::CacheConfig;
+use autocat::gym::{CacheSpec, EnvConfig, HardwareProfile};
 use autocat_bench::{print_header, standard_explorer, Budget};
 
 fn main() {
@@ -16,10 +16,7 @@ fn main() {
             if args.iter().any(|a| a == "--all") {
                 HardwareProfile::table3_rows().to_vec()
             } else {
-                vec![
-                    HardwareProfile::SkylakeL2,
-                    HardwareProfile::KabylakeL3W4,
-                ]
+                vec![HardwareProfile::SkylakeL2, HardwareProfile::KabylakeL3W4]
             }
         }
     };

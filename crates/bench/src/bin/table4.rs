@@ -24,7 +24,10 @@ fn config_for(no: usize) -> Option<(EnvConfig, &'static str)> {
             e.flush_enable = true;
             (e, "FR")
         }
-        4 => (c(CacheConfig::direct_mapped(4), (0, 7), (0, 3)), "ER and PP"),
+        4 => (
+            c(CacheConfig::direct_mapped(4), (0, 7), (0, 3)),
+            "ER and PP",
+        ),
         5 => {
             let mut e = c(CacheConfig::fully_associative(4), (4, 7), (0, 0));
             e.victim_no_access_enable = true;
@@ -103,8 +106,10 @@ fn config_for(no: usize) -> Option<(EnvConfig, &'static str)> {
 
 fn main() {
     let budget = Budget::from_env();
-    let args: Vec<usize> =
-        std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
     let rows: Vec<usize> = if !args.is_empty() {
         args
     } else if budget == Budget::Full {
@@ -132,7 +137,11 @@ fn main() {
             report.category.to_string(),
             report.accuracy,
             report.sequence_notation,
-            if report.converged { "" } else { "  [not converged]" },
+            if report.converged {
+                ""
+            } else {
+                "  [not converged]"
+            },
         );
     }
 }

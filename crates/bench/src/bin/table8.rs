@@ -2,7 +2,7 @@
 //! RL-baseline and RL-autocor agents (CC-Hunter bypass).
 
 use autocat::attacks::textbook::{run_scripted_multi, TextbookPrimeProbe};
-use autocat::gym::{EnvConfig, MultiGuessConfig, MultiGuessEnv, Environment};
+use autocat::gym::{EnvConfig, Environment, MultiGuessConfig, MultiGuessEnv};
 use autocat::ppo::{Backbone, PpoConfig, Trainer};
 use autocat_bench::{print_header, Budget};
 use rand::SeedableRng;
@@ -15,7 +15,6 @@ fn eval_rl(trainer: &mut Trainer<MultiGuessEnv>, episodes: usize) -> (f64, f64, 
     for _ in 0..episodes {
         let mut obs = env.reset(rng);
         loop {
-            use autocat::nn::models::PolicyValueNet;
             let (logits, _) = net.forward(&autocat::nn::Matrix::from_row(&obs));
             let a = autocat::nn::Categorical::from_logits(logits.row(0)).sample(rng);
             let r = env.step(a, rng);
@@ -47,10 +46,8 @@ fn main() {
     let mut mac = 0.0;
     let eps = 50;
     for _ in 0..eps {
-        let mut env = MultiGuessEnv::new(
-            MultiGuessConfig::fig3_baseline().with_autocorr(-0.0, 30),
-        )
-        .unwrap();
+        let mut env =
+            MultiGuessEnv::new(MultiGuessConfig::fig3_baseline().with_autocorr(-0.0, 30)).unwrap();
         let mut pp = TextbookPrimeProbe::new(&EnvConfig::prime_probe_dm4(), 4);
         let stats = run_scripted_multi(&mut env, &mut pp, &mut rng);
         br += stats.bit_rate();
@@ -75,7 +72,9 @@ fn main() {
         let env = MultiGuessEnv::new(cfg).unwrap();
         let mut trainer = Trainer::new(
             env,
-            Backbone::Mlp { hidden: vec![64, 64] },
+            Backbone::Mlp {
+                hidden: vec![64, 64],
+            },
             PpoConfig::small_env(),
             11,
         );

@@ -5,7 +5,7 @@ use autocat::cache::CacheConfig;
 use autocat::detect::benign::{benign_pattern_suite, generate_trace, BenignWorkload};
 use autocat::detect::svm::{cross_validate, SvmTrainConfig};
 use autocat::detect::{CycloneFeatures, LinearSvm};
-use autocat::gym::{EnvConfig, MultiGuessConfig, MultiGuessEnv, Environment};
+use autocat::gym::{EnvConfig, Environment, MultiGuessConfig, MultiGuessEnv};
 use autocat::ppo::{Backbone, PpoConfig, Trainer};
 use autocat_bench::{print_header, Budget};
 use rand::SeedableRng;
@@ -21,7 +21,12 @@ fn main() {
     let mut data: Vec<(Vec<f32>, i8)> = Vec::new();
     for (a, b) in benign_pattern_suite() {
         for rep in 0..4 {
-            let wl = BenignWorkload { pattern_a: a, pattern_b: b, length: 320, ..BenignWorkload::default() };
+            let wl = BenignWorkload {
+                pattern_a: a,
+                pattern_b: b,
+                length: 320,
+                ..BenignWorkload::default()
+            };
             let mut r = rand::rngs::StdRng::seed_from_u64(rep * 97 + 13);
             let trace = generate_trace(&cache_cfg, &wl, &mut r);
             data.push((features.extract(&trace), -1));
@@ -58,7 +63,13 @@ fn main() {
         det += f64::from(svm.predict(&features.extract(env.episode_events())) == 1);
     }
     let n = eval_eps as f64;
-    println!("{:<12} | {:>8.4} | {:>8.3} | {:>14.4}", "textbook", br / n, acc / n, det / n);
+    println!(
+        "{:<12} | {:>8.4} | {:>8.3} | {:>14.4}",
+        "textbook",
+        br / n,
+        acc / n,
+        det / n
+    );
 
     // RL baseline (no penalty) and RL SVM (penalized).
     for (label, penalized) in [("RL baseline", false), ("RL SVM", true)] {
@@ -69,7 +80,9 @@ fn main() {
         let env = MultiGuessEnv::new(cfg).unwrap();
         let mut trainer = Trainer::new(
             env,
-            Backbone::Mlp { hidden: vec![64, 64] },
+            Backbone::Mlp {
+                hidden: vec![64, 64],
+            },
             PpoConfig::small_env(),
             17,
         );
@@ -82,7 +95,6 @@ fn main() {
         for _ in 0..eps {
             let mut obs = env.reset(r2);
             loop {
-                use autocat::nn::models::PolicyValueNet;
                 let (logits, _) = net.forward(&autocat::nn::Matrix::from_row(&obs));
                 let a = autocat::nn::Categorical::from_logits(logits.row(0)).sample(r2);
                 let res = env.step(a, r2);
@@ -97,7 +109,13 @@ fn main() {
             det += f64::from(svm.predict(&features.extract(env.episode_events())) == 1);
         }
         let n = eps as f64;
-        println!("{:<12} | {:>8.4} | {:>8.3} | {:>14.4}", label, br / n, acc / n, det / n);
+        println!(
+            "{:<12} | {:>8.4} | {:>8.3} | {:>14.4}",
+            label,
+            br / n,
+            acc / n,
+            det / n
+        );
     }
     println!("\n(expected shape: textbook/RL-baseline detected often; RL-SVM detection near zero at some bit-rate cost)");
 }

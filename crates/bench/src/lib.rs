@@ -41,6 +41,23 @@ impl Budget {
             Budget::Full => 1_500_000,
         }
     }
+
+    /// Parallel rollout lanes for the training harnesses. Overridable with
+    /// `AUTOCAT_LANES`; defaults to 1 lane in quick mode (bit-for-bit the
+    /// historical scalar path) and 4 lanes for paper-scale runs.
+    pub fn lanes(self) -> usize {
+        if let Ok(v) = std::env::var("AUTOCAT_LANES") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        match self {
+            Budget::Quick => 1,
+            Budget::Full => 4,
+        }
+    }
 }
 
 /// The standard explorer setup used by the training-based tables.
@@ -48,8 +65,11 @@ pub fn standard_explorer(config: EnvConfig, seed: u64, budget: Budget) -> autoca
     autocat::Explorer::new(config)
         .seed(seed)
         .max_steps(budget.max_steps())
-        .backbone(Backbone::Mlp { hidden: vec![64, 64] })
+        .backbone(Backbone::Mlp {
+            hidden: vec![64, 64],
+        })
         .ppo(PpoConfig::small_env())
+        .lanes(budget.lanes())
 }
 
 /// Prints a table header with a separator line.
@@ -69,5 +89,19 @@ mod tests {
         assert_eq!(Budget::from_env(), Budget::Quick);
         assert_eq!(Budget::Quick.runs(), 1);
         assert!(Budget::Full.max_steps() > Budget::Quick.max_steps());
+    }
+
+    #[test]
+    fn lane_defaults_keep_quick_mode_scalar() {
+        std::env::remove_var("AUTOCAT_LANES");
+        assert_eq!(
+            Budget::Quick.lanes(),
+            1,
+            "quick runs stay bit-for-bit scalar"
+        );
+        assert!(
+            Budget::Full.lanes() > 1,
+            "full runs use the vectorized engine"
+        );
     }
 }

@@ -91,9 +91,19 @@ impl Cache {
     /// Creates an empty cache from a configuration.
     pub fn new(config: CacheConfig) -> Self {
         let mapping = ResolvedMapping::resolve(&config.mapping);
-        let sets = (0..config.num_sets).map(|s| CacheSetState::new(&config, s)).collect();
+        let sets = (0..config.num_sets)
+            .map(|s| CacheSetState::new(&config, s))
+            .collect();
         let prefetcher = PrefetchState::new(config.prefetcher);
-        Self { config, mapping, sets, prefetcher, prefetch_wrap: None, events: Vec::new(), stats: CacheStats::default() }
+        Self {
+            config,
+            mapping,
+            sets,
+            prefetcher,
+            prefetch_wrap: None,
+            events: Vec::new(),
+            stats: CacheStats::default(),
+        }
     }
 
     /// The configuration this cache was built from.
@@ -140,18 +150,33 @@ impl Cache {
             }
             evicted = self.fill(set_idx, addr, domain, domain);
         }
-        self.events.push(CacheEvent::Access { domain, addr, set: set_idx, hit });
+        self.events.push(CacheEvent::Access {
+            domain,
+            addr,
+            set: set_idx,
+            hit,
+        });
         AccessResult {
             hit,
             set: set_idx,
             evicted,
-            latency: if hit { self.config.hit_latency } else { self.config.miss_latency },
+            latency: if hit {
+                self.config.hit_latency
+            } else {
+                self.config.miss_latency
+            },
         }
     }
 
     /// Fills `addr` into its set on behalf of `owner`, attributing any
     /// eviction to `evictor`. Returns the evicted `(addr, owner)` if any.
-    fn fill(&mut self, set_idx: usize, addr: u64, owner: Domain, evictor: Domain) -> Option<(u64, Domain)> {
+    fn fill(
+        &mut self,
+        set_idx: usize,
+        addr: u64,
+        owner: Domain,
+        evictor: Domain,
+    ) -> Option<(u64, Domain)> {
         let way = match self.sets[set_idx].invalid_unlocked_way() {
             Some(w) => w,
             None => {
@@ -210,7 +235,11 @@ impl Cache {
         } else {
             false
         };
-        self.events.push(CacheEvent::Flush { domain, addr, present });
+        self.events.push(CacheEvent::Flush {
+            domain,
+            addr,
+            present,
+        });
         present
     }
 
@@ -275,7 +304,9 @@ impl Cache {
     pub fn set_contents(&self, set: usize) -> Vec<Option<(u64, Domain)>> {
         assert!(set < self.config.num_sets, "set {set} out of range");
         let s = &self.sets[set];
-        (0..s.tags.len()).map(|w| s.tags[w].map(|t| (t, s.owner[w]))).collect()
+        (0..s.tags.len())
+            .map(|w| s.tags[w].map(|t| (t, s.owner[w])))
+            .collect()
     }
 
     /// LRU ages of a set's ways (0 = MRU), when the policy tracks true LRU.
@@ -433,8 +464,11 @@ mod tests {
         let mut c = Cache::new(CacheConfig::direct_mapped(2));
         c.access(0, Domain::Victim);
         c.access(2, Domain::Attacker); // evicts victim's 0
-        let conflicts: Vec<_> =
-            c.events().iter().filter_map(|e| e.as_conflict_miss()).collect();
+        let conflicts: Vec<_> = c
+            .events()
+            .iter()
+            .filter_map(|e| e.as_conflict_miss())
+            .collect();
         assert_eq!(conflicts, vec![(Domain::Victim, Domain::Attacker)]);
     }
 
@@ -460,8 +494,10 @@ mod tests {
 
     #[test]
     fn random_mapping_still_resolves_all_addresses() {
-        let cfg = CacheConfig::new(4, 2)
-            .with_mapping(AddressMapping::RandomPermutation { seed: 5, address_space: 16 });
+        let cfg = CacheConfig::new(4, 2).with_mapping(AddressMapping::RandomPermutation {
+            seed: 5,
+            address_space: 16,
+        });
         let mut c = Cache::new(cfg);
         for a in 0..16 {
             c.access(a, Domain::Attacker);

@@ -23,7 +23,12 @@ pub enum PolicyKind {
 impl PolicyKind {
     /// All deterministic policies (used by the Table V sweep).
     pub fn deterministic() -> [PolicyKind; 4] {
-        [PolicyKind::Lru, PolicyKind::Plru, PolicyKind::Rrip, PolicyKind::Nru]
+        [
+            PolicyKind::Lru,
+            PolicyKind::Plru,
+            PolicyKind::Rrip,
+            PolicyKind::Nru,
+        ]
     }
 
     /// Human-readable name matching the paper's tables.

@@ -76,10 +76,13 @@ impl CacheEvent {
     /// the event CC-Hunter's autocorrelation detector tracks.
     pub fn as_conflict_miss(&self) -> Option<(Domain, Domain)> {
         match *self {
-            CacheEvent::Eviction { victim_domain, evictor_domain, .. }
-                if victim_domain != evictor_domain
-                    && victim_domain != Domain::Prefetcher
-                    && evictor_domain != Domain::Prefetcher =>
+            CacheEvent::Eviction {
+                victim_domain,
+                evictor_domain,
+                ..
+            } if victim_domain != evictor_domain
+                && victim_domain != Domain::Prefetcher
+                && evictor_domain != Domain::Prefetcher =>
             {
                 Some((victim_domain, evictor_domain))
             }
@@ -101,7 +104,10 @@ mod tests {
             incoming_addr: 7,
             set: 0,
         };
-        assert_eq!(ev.as_conflict_miss(), Some((Domain::Victim, Domain::Attacker)));
+        assert_eq!(
+            ev.as_conflict_miss(),
+            Some((Domain::Victim, Domain::Attacker))
+        );
     }
 
     #[test]
@@ -130,7 +136,12 @@ mod tests {
 
     #[test]
     fn access_is_never_a_conflict() {
-        let ev = CacheEvent::Access { domain: Domain::Victim, addr: 0, set: 0, hit: false };
+        let ev = CacheEvent::Access {
+            domain: Domain::Victim,
+            addr: 0,
+            set: 0,
+            hit: false,
+        };
         assert_eq!(ev.as_conflict_miss(), None);
     }
 }

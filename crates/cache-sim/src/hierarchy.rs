@@ -74,7 +74,9 @@ impl TwoLevelCache {
     /// Panics if `config.num_cores` is zero.
     pub fn new(config: TwoLevelConfig) -> Self {
         assert!(config.num_cores > 0, "need at least one core");
-        let l1s = (0..config.num_cores).map(|_| Cache::new(config.l1.clone())).collect();
+        let l1s = (0..config.num_cores)
+            .map(|_| Cache::new(config.l1.clone()))
+            .collect();
         let l2 = Cache::new(config.l2.clone());
         Self { config, l1s, l2 }
     }
@@ -93,7 +95,11 @@ impl TwoLevelCache {
         assert!(core < self.config.num_cores, "core {core} out of range");
         let l1_result = self.l1s[core].access(addr, domain);
         if l1_result.hit {
-            return HierarchyResult { l1_hit: true, l2_hit: false, latency: self.config.l1.hit_latency };
+            return HierarchyResult {
+                l1_hit: true,
+                l2_hit: false,
+                latency: self.config.l1.hit_latency,
+            };
         }
         let l2_result = self.l2.access(addr, domain);
         // Inclusive L2: a line evicted from L2 must leave all L1s too.
@@ -107,7 +113,11 @@ impl TwoLevelCache {
         } else {
             self.config.l2.miss_latency
         };
-        HierarchyResult { l1_hit: false, l2_hit: l2_result.hit, latency }
+        HierarchyResult {
+            l1_hit: false,
+            l2_hit: l2_result.hit,
+            latency,
+        }
     }
 
     /// Flushes `addr` from the whole hierarchy (all L1s and the L2).
@@ -191,7 +201,10 @@ mod tests {
         h.access(1, 4, Domain::Attacker);
         h.access(1, 8, Domain::Attacker); // evicts 0 from L2 (LRU)
         assert!(!h.probe_l2(0));
-        assert!(!h.probe_l1(0, 0), "inclusion must back-invalidate L1 copies");
+        assert!(
+            !h.probe_l1(0, 0),
+            "inclusion must back-invalidate L1 copies"
+        );
         // Victim's re-access now misses all the way.
         let r = h.access(0, 0, Domain::Victim);
         assert!(!r.hit());

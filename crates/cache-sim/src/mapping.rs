@@ -30,7 +30,10 @@ impl AddressMapping {
     pub fn set_index(&self, addr: u64, num_sets: usize) -> usize {
         match self {
             AddressMapping::Direct => (addr % num_sets as u64) as usize,
-            AddressMapping::RandomPermutation { seed, address_space } => {
+            AddressMapping::RandomPermutation {
+                seed,
+                address_space,
+            } => {
                 let perm = build_permutation(*seed, *address_space);
                 let idx = (addr as usize) % (*address_space).max(1);
                 perm[idx] % num_sets
@@ -59,9 +62,10 @@ impl ResolvedMapping {
     pub(crate) fn resolve(mapping: &AddressMapping) -> Self {
         match mapping {
             AddressMapping::Direct => ResolvedMapping::Direct,
-            AddressMapping::RandomPermutation { seed, address_space } => {
-                ResolvedMapping::Permuted(build_permutation(*seed, *address_space))
-            }
+            AddressMapping::RandomPermutation {
+                seed,
+                address_space,
+            } => ResolvedMapping::Permuted(build_permutation(*seed, *address_space)),
         }
     }
 
@@ -90,7 +94,10 @@ mod tests {
 
     #[test]
     fn permutation_is_deterministic() {
-        let m = AddressMapping::RandomPermutation { seed: 7, address_space: 16 };
+        let m = AddressMapping::RandomPermutation {
+            seed: 7,
+            address_space: 16,
+        };
         let a: Vec<usize> = (0..16).map(|i| m.set_index(i, 4)).collect();
         let b: Vec<usize> = (0..16).map(|i| m.set_index(i, 4)).collect();
         assert_eq!(a, b);
@@ -100,7 +107,10 @@ mod tests {
     fn permutation_is_balanced_over_sets() {
         // A permutation of 0..16 over 4 sets must put exactly 4 addresses in
         // each set.
-        let m = AddressMapping::RandomPermutation { seed: 3, address_space: 16 };
+        let m = AddressMapping::RandomPermutation {
+            seed: 3,
+            address_space: 16,
+        };
         let mut counts = [0usize; 4];
         for a in 0..16u64 {
             counts[m.set_index(a, 4)] += 1;
@@ -110,8 +120,14 @@ mod tests {
 
     #[test]
     fn different_seeds_generally_differ() {
-        let m1 = AddressMapping::RandomPermutation { seed: 1, address_space: 32 };
-        let m2 = AddressMapping::RandomPermutation { seed: 2, address_space: 32 };
+        let m1 = AddressMapping::RandomPermutation {
+            seed: 1,
+            address_space: 32,
+        };
+        let m2 = AddressMapping::RandomPermutation {
+            seed: 2,
+            address_space: 32,
+        };
         let a: Vec<usize> = (0..32).map(|i| m1.set_index(i, 8)).collect();
         let b: Vec<usize> = (0..32).map(|i| m2.set_index(i, 8)).collect();
         assert_ne!(a, b);
@@ -119,7 +135,10 @@ mod tests {
 
     #[test]
     fn resolved_matches_unresolved() {
-        let m = AddressMapping::RandomPermutation { seed: 11, address_space: 24 };
+        let m = AddressMapping::RandomPermutation {
+            seed: 11,
+            address_space: 24,
+        };
         let r = ResolvedMapping::resolve(&m);
         for a in 0..24u64 {
             assert_eq!(m.set_index(a, 6), r.set_index(a, 6));

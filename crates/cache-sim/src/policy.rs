@@ -80,7 +80,10 @@ impl SetPolicy {
     ///
     /// Panics if every way is locked.
     pub fn victim(&mut self, locked: &[bool]) -> usize {
-        assert!(locked.iter().any(|&l| !l), "all ways locked: nothing can be evicted");
+        assert!(
+            locked.iter().any(|&l| !l),
+            "all ways locked: nothing can be evicted"
+        );
         match self {
             SetPolicy::Lru(s) => s.victim(locked),
             SetPolicy::Plru(s) => s.victim(locked),
@@ -117,7 +120,10 @@ pub struct LruState {
 
 impl LruState {
     fn new(num_ways: usize) -> Self {
-        Self { stamp: vec![0; num_ways], clock: 0 }
+        Self {
+            stamp: vec![0; num_ways],
+            clock: 0,
+        }
     }
 
     fn touch(&mut self, way: usize) {
@@ -168,7 +174,11 @@ pub struct PlruState {
 impl PlruState {
     fn new(num_ways: usize) -> Self {
         let leaves = num_ways.next_power_of_two().max(2);
-        Self { bits: vec![false; leaves - 1], num_ways, leaves }
+        Self {
+            bits: vec![false; leaves - 1],
+            num_ways,
+            leaves,
+        }
     }
 
     /// Updates tree bits to point *away* from `way`.
@@ -227,7 +237,9 @@ impl RripState {
     const MAX: u8 = 3;
 
     fn new(num_ways: usize) -> Self {
-        Self { rrpv: vec![Self::MAX; num_ways] }
+        Self {
+            rrpv: vec![Self::MAX; num_ways],
+        }
     }
 
     fn on_hit(&mut self, way: usize) {
@@ -248,9 +260,9 @@ impl RripState {
             {
                 return w;
             }
-            for w in 0..self.rrpv.len() {
-                if !locked[w] && self.rrpv[w] < Self::MAX {
-                    self.rrpv[w] += 1;
+            for (rrpv, &is_locked) in self.rrpv.iter_mut().zip(locked.iter()) {
+                if !is_locked && *rrpv < Self::MAX {
+                    *rrpv += 1;
                 }
             }
         }
@@ -266,7 +278,9 @@ pub struct NruState {
 
 impl NruState {
     fn new(num_ways: usize) -> Self {
-        Self { referenced: vec![false; num_ways] }
+        Self {
+            referenced: vec![false; num_ways],
+        }
     }
 
     fn touch(&mut self, way: usize) {
@@ -287,9 +301,9 @@ impl NruState {
         if let Some(w) = (0..self.referenced.len()).find(|&w| !locked[w] && !self.referenced[w]) {
             return w;
         }
-        for w in 0..self.referenced.len() {
-            if !locked[w] {
-                self.referenced[w] = false;
+        for (referenced, &is_locked) in self.referenced.iter_mut().zip(locked.iter()) {
+            if !is_locked {
+                *referenced = false;
             }
         }
         (0..self.referenced.len())
@@ -307,7 +321,10 @@ pub struct RandomState {
 
 impl RandomState {
     fn new(num_ways: usize, seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), num_ways }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            num_ways,
+        }
     }
 
     fn victim(&mut self, locked: &[bool]) -> usize {
@@ -402,7 +419,7 @@ mod tests {
             p.on_fill(w); // all at RRPV=2
         }
         p.on_hit(0); // way 0 at RRPV=0
-        // No way at 3 -> aging: ways 1..3 reach 3 first; victim is way 1.
+                     // No way at 3 -> aging: ways 1..3 reach 3 first; victim is way 1.
         assert_eq!(p.victim(&no_locks(4)), 1);
     }
 
@@ -456,7 +473,11 @@ mod tests {
             }
             let locked = vec![true, true, false, true];
             for _ in 0..8 {
-                assert_eq!(p.victim(&locked), 2, "{kind:?} must pick the only unlocked way");
+                assert_eq!(
+                    p.victim(&locked),
+                    2,
+                    "{kind:?} must pick the only unlocked way"
+                );
             }
         }
     }

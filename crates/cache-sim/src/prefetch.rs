@@ -29,7 +29,10 @@ impl PrefetchState {
         match kind {
             PrefetcherKind::None => PrefetchState::None,
             PrefetcherKind::NextLine => PrefetchState::NextLine,
-            PrefetcherKind::Stream => PrefetchState::Stream { last_addr: None, last_stride: None },
+            PrefetcherKind::Stream => PrefetchState::Stream {
+                last_addr: None,
+                last_stride: None,
+            },
         }
     }
 
@@ -49,7 +52,10 @@ impl PrefetchState {
         match self {
             PrefetchState::None => None,
             PrefetchState::NextLine => wrap_fn(addr as i64 + 1),
-            PrefetchState::Stream { last_addr, last_stride } => {
+            PrefetchState::Stream {
+                last_addr,
+                last_stride,
+            } => {
                 let mut out = None;
                 if let Some(prev) = *last_addr {
                     let stride = addr as i64 - prev as i64;
@@ -66,7 +72,11 @@ impl PrefetchState {
 
     /// Resets stream-detection state.
     pub fn reset(&mut self) {
-        if let PrefetchState::Stream { last_addr, last_stride } = self {
+        if let PrefetchState::Stream {
+            last_addr,
+            last_stride,
+        } = self
+        {
             *last_addr = None;
             *last_stride = None;
         }

@@ -77,6 +77,7 @@ pub struct Explorer {
     config: EnvConfig,
     backbone: Backbone,
     ppo: PpoConfig,
+    lanes: Option<usize>,
     seed: u64,
     max_steps: u64,
     return_threshold: f32,
@@ -89,8 +90,11 @@ impl Explorer {
     pub fn new(config: EnvConfig) -> Self {
         Self {
             config,
-            backbone: Backbone::Mlp { hidden: vec![64, 64] },
+            backbone: Backbone::Mlp {
+                hidden: vec![64, 64],
+            },
             ppo: PpoConfig::small_env(),
+            lanes: None,
             seed: 0,
             max_steps: 400_000,
             return_threshold: 0.85,
@@ -101,6 +105,16 @@ impl Explorer {
     /// Sets the RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the number of parallel rollout lanes (`VecEnv` width). One lane
+    /// (the default) reproduces the scalar training path bit-for-bit;
+    /// more lanes batch the policy forwards and parallelize stepping.
+    /// Takes effect regardless of builder-call order: it overrides the
+    /// `num_lanes` of any [`PpoConfig`] passed to [`Explorer::ppo`].
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        self.lanes = Some(lanes.max(1));
         self
     }
 
@@ -141,15 +155,22 @@ impl Explorer {
     /// Returns an error if the environment configuration is invalid.
     pub fn run(self) -> Result<ExplorationReport, String> {
         let env = CacheGuessingGame::new(self.config.clone())?;
-        let mut trainer = Trainer::new(env, self.backbone, self.ppo, self.seed);
+        let mut ppo = self.ppo;
+        if let Some(lanes) = self.lanes {
+            ppo.num_lanes = lanes;
+        }
+        let mut trainer = Trainer::new(env, self.backbone, ppo, self.seed);
         let result = trainer.train_until(self.return_threshold, self.max_steps);
         // Evaluate with sampling (matters on stochastic caches) and extract
         // the canonical sequence by greedy replay.
         let (env, net, rng) = trainer.parts_mut();
         let stats = eval::evaluate(env, net, self.eval_episodes, false, rng);
         let seq = eval::extract_sequence(env, net, rng);
-        let actions: Vec<Action> =
-            seq.actions.iter().map(|&i| env.action_space().decode(i)).collect();
+        let actions: Vec<Action> = seq
+            .actions
+            .iter()
+            .map(|&i| env.action_space().decode(i))
+            .collect();
         let notation = actions
             .iter()
             .map(|a| a.to_string())
@@ -179,10 +200,38 @@ mod tests {
             .seed(3)
             .max_steps(1000)
             .return_threshold(0.5)
+            .lanes(6)
             .eval_episodes(10);
         assert_eq!(e.seed, 3);
         assert_eq!(e.max_steps, 1000);
         assert_eq!(e.eval_episodes, 10);
+        assert_eq!(e.lanes, Some(6));
+    }
+
+    #[test]
+    fn lanes_survive_a_later_ppo_override() {
+        // .lanes() must win regardless of builder-call order.
+        let e = Explorer::new(EnvConfig::flush_reload_fa4())
+            .lanes(4)
+            .ppo(PpoConfig::small_env());
+        assert_eq!(e.lanes, Some(4));
+        assert_eq!(e.ppo.num_lanes, 1, "merged only at run()");
+    }
+
+    #[test]
+    fn multi_lane_exploration_completes() {
+        // The vectorized engine must run the full pipeline end to end.
+        let report = Explorer::new(EnvConfig::flush_reload_fa4().with_window(8))
+            .lanes(4)
+            .max_steps(2048)
+            .ppo(PpoConfig {
+                horizon: 512,
+                ..PpoConfig::small_env()
+            })
+            .run()
+            .unwrap();
+        assert!(!report.sequence.is_empty());
+        assert!(report.training_steps >= 2048);
     }
 
     #[test]
@@ -198,7 +247,10 @@ mod tests {
         // extract → classify) without waiting for convergence.
         let report = Explorer::new(EnvConfig::flush_reload_fa4().with_window(8))
             .max_steps(2048)
-            .ppo(PpoConfig { horizon: 512, ..PpoConfig::small_env() })
+            .ppo(PpoConfig {
+                horizon: 512,
+                ..PpoConfig::small_env()
+            })
             .run()
             .unwrap();
         assert!(!report.sequence.is_empty());

@@ -110,7 +110,11 @@ impl AutocorrDetector {
     /// Creates a detector with the paper's parameters (threshold 0.75,
     /// lags up to `max_lag`).
     pub fn new(threshold: f64, max_lag: usize) -> Self {
-        Self { threshold, max_lag, train: EventTrain::new() }
+        Self {
+            threshold,
+            max_lag,
+            train: EventTrain::new(),
+        }
     }
 
     /// Feeds cache events.
@@ -152,7 +156,9 @@ mod tests {
     use super::*;
 
     fn train_from_bits(bits: &[u8]) -> EventTrain {
-        EventTrain { events: bits.to_vec() }
+        EventTrain {
+            events: bits.to_vec(),
+        }
     }
 
     #[test]
@@ -160,7 +166,11 @@ mod tests {
         // A strictly alternating 0,1,0,1,... train: C_2 should be ~1.
         let bits: Vec<u8> = (0..64).map(|i| (i % 2) as u8).collect();
         let train = train_from_bits(&bits);
-        assert!(train.autocorrelation(2) > 0.9, "C_2 = {}", train.autocorrelation(2));
+        assert!(
+            train.autocorrelation(2) > 0.9,
+            "C_2 = {}",
+            train.autocorrelation(2)
+        );
         assert!(train.autocorrelation(1) < -0.9);
         assert!(train.max_autocorrelation(10) > 0.9);
     }
@@ -175,7 +185,11 @@ mod tests {
             bits.extend_from_slice(&[1, 1, 1, 1]);
         }
         let train = train_from_bits(&bits);
-        assert!(train.autocorrelation(5) > 0.75, "C_5 = {}", train.autocorrelation(5));
+        assert!(
+            train.autocorrelation(5) > 0.75,
+            "C_5 = {}",
+            train.autocorrelation(5)
+        );
     }
 
     #[test]
@@ -205,14 +219,14 @@ mod tests {
 
     #[test]
     fn detector_flags_periodic_not_random() {
-        let mut det = AutocorrDetector::default();
-        det.train = {
-            let mut bits = Vec::new();
-            for _ in 0..20 {
-                bits.push(0u8);
-                bits.extend_from_slice(&[1, 1, 1]);
-            }
-            train_from_bits(&bits)
+        let mut bits = Vec::new();
+        for _ in 0..20 {
+            bits.push(0u8);
+            bits.extend_from_slice(&[1, 1, 1]);
+        }
+        let mut det = AutocorrDetector {
+            train: train_from_bits(&bits),
+            ..Default::default()
         };
         assert!(det.is_attack());
         det.reset();

@@ -118,7 +118,7 @@ pub fn generate_trace(
         // the same cache sets.
         let phase = if use_a { 0 } else { workload.region / 3 };
         let addr = if rng.gen_bool(workload.shared_prob) {
-            shared_base + rng.gen_range(0..8)
+            shared_base + rng.gen_range(0..8u64)
         } else {
             base + (pattern.address(step, workload.region, rng) + phase) % workload.region
         };
@@ -140,10 +140,15 @@ mod tests {
     #[test]
     fn trace_has_requested_length_of_accesses() {
         let cfg = CacheConfig::new(4, 2);
-        let wl = BenignWorkload { length: 100, ..BenignWorkload::default() };
+        let wl = BenignWorkload {
+            length: 100,
+            ..BenignWorkload::default()
+        };
         let trace = generate_trace(&cfg, &wl, &mut rng());
-        let accesses =
-            trace.iter().filter(|e| matches!(e, CacheEvent::Access { .. })).count();
+        let accesses = trace
+            .iter()
+            .filter(|e| matches!(e, CacheEvent::Access { .. }))
+            .count();
         assert_eq!(accesses, 100);
     }
 
@@ -173,7 +178,12 @@ mod tests {
         let mut total = 0usize;
         let suite = benign_pattern_suite();
         for &(a, b) in &suite {
-            let wl = BenignWorkload { pattern_a: a, pattern_b: b, length: 400, ..BenignWorkload::default() };
+            let wl = BenignWorkload {
+                pattern_a: a,
+                pattern_b: b,
+                length: 400,
+                ..BenignWorkload::default()
+            };
             let trace = generate_trace(&cfg, &wl, &mut rng());
             let cycles = fx.total_cyclic(&trace);
             total += cycles;

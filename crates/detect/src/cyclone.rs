@@ -35,7 +35,10 @@ impl CycloneFeatures {
     /// Panics if `num_intervals` is zero.
     pub fn new(num_intervals: usize) -> Self {
         assert!(num_intervals > 0, "need at least one interval");
-        Self { num_intervals, proximity_window: 12 }
+        Self {
+            num_intervals,
+            proximity_window: 12,
+        }
     }
 
     /// Overrides the proximity window.
@@ -102,7 +105,10 @@ impl CycloneFeatures {
                             marks.push(access_idx.saturating_sub(1));
                         }
                     }
-                    last.insert(set, (evicted_addr, incoming_addr, evictor_domain, access_idx));
+                    last.insert(
+                        set,
+                        (evicted_addr, incoming_addr, evictor_domain, access_idx),
+                    );
                 }
                 CacheEvent::Flush { .. } => {}
             }
@@ -122,7 +128,12 @@ mod tests {
     use super::*;
 
     fn access(domain: Domain, addr: u64) -> CacheEvent {
-        CacheEvent::Access { domain, addr, set: (addr % 4) as usize, hit: false }
+        CacheEvent::Access {
+            domain,
+            addr,
+            set: (addr % 4) as usize,
+            hit: false,
+        }
     }
 
     fn eviction(

@@ -25,7 +25,10 @@ impl MissCountDetector {
     /// Panics if `threshold` is zero.
     pub fn new(threshold: u64) -> Self {
         assert!(threshold > 0, "threshold must be positive");
-        Self { threshold, victim_misses: 0 }
+        Self {
+            threshold,
+            victim_misses: 0,
+        }
     }
 
     /// The paper's configuration: any victim miss is an attack.
@@ -35,7 +38,12 @@ impl MissCountDetector {
 
     /// Feeds one cache event.
     pub fn observe(&mut self, event: &CacheEvent) {
-        if let CacheEvent::Access { domain: Domain::Victim, hit: false, .. } = event {
+        if let CacheEvent::Access {
+            domain: Domain::Victim,
+            hit: false,
+            ..
+        } = event
+        {
             self.victim_misses += 1;
         }
     }
@@ -74,15 +82,30 @@ mod tests {
     use super::*;
 
     fn victim_miss() -> CacheEvent {
-        CacheEvent::Access { domain: Domain::Victim, addr: 0, set: 0, hit: false }
+        CacheEvent::Access {
+            domain: Domain::Victim,
+            addr: 0,
+            set: 0,
+            hit: false,
+        }
     }
 
     fn victim_hit() -> CacheEvent {
-        CacheEvent::Access { domain: Domain::Victim, addr: 0, set: 0, hit: true }
+        CacheEvent::Access {
+            domain: Domain::Victim,
+            addr: 0,
+            set: 0,
+            hit: true,
+        }
     }
 
     fn attacker_miss() -> CacheEvent {
-        CacheEvent::Access { domain: Domain::Attacker, addr: 0, set: 0, hit: false }
+        CacheEvent::Access {
+            domain: Domain::Attacker,
+            addr: 0,
+            set: 0,
+            hit: false,
+        }
     }
 
     #[test]

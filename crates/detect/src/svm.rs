@@ -31,7 +31,10 @@ pub struct SvmTrainConfig {
 
 impl Default for SvmTrainConfig {
     fn default() -> Self {
-        Self { lambda: 1e-3, epochs: 60 }
+        Self {
+            lambda: 1e-3,
+            epochs: 60,
+        }
     }
 }
 
@@ -42,11 +45,7 @@ impl LinearSvm {
     ///
     /// Panics if the dataset is empty, feature dimensions are inconsistent,
     /// or any label is not ±1.
-    pub fn train(
-        data: &[(Vec<f32>, i8)],
-        config: &SvmTrainConfig,
-        rng: &mut impl Rng,
-    ) -> Self {
+    pub fn train(data: &[(Vec<f32>, i8)], config: &SvmTrainConfig, rng: &mut impl Rng) -> Self {
         assert!(!data.is_empty(), "empty training set");
         let dim = data[0].0.len();
         for (x, y) in data {
@@ -137,7 +136,11 @@ pub fn cross_validate(
     let mut total_acc = 0.0;
     for fold in 0..k {
         let lo = fold * fold_size;
-        let hi = if fold + 1 == k { data.len() } else { lo + fold_size };
+        let hi = if fold + 1 == k {
+            data.len()
+        } else {
+            lo + fold_size
+        };
         let test: Vec<_> = order[lo..hi].iter().map(|&i| data[i].clone()).collect();
         let train: Vec<_> = order[..lo]
             .iter()
@@ -164,7 +167,7 @@ mod tests {
         let mut data = Vec::new();
         for _ in 0..n {
             // Positive class near (2, 2), negative near (-2, -2).
-            let mut jitter = || rng.gen_range(-0.5..0.5);
+            let mut jitter = || rng.gen_range(-0.5f32..0.5);
             data.push((vec![2.0 + jitter(), 2.0 + jitter()], 1));
             data.push((vec![-2.0 + jitter(), -2.0 + jitter()], -1));
         }
@@ -175,7 +178,11 @@ mod tests {
     fn learns_separable_data() {
         let data = separable_dataset(50);
         let svm = LinearSvm::train(&data, &SvmTrainConfig::default(), &mut rng());
-        assert!(svm.accuracy(&data) > 0.98, "accuracy {}", svm.accuracy(&data));
+        assert!(
+            svm.accuracy(&data) > 0.98,
+            "accuracy {}",
+            svm.accuracy(&data)
+        );
     }
 
     #[test]
@@ -183,7 +190,10 @@ mod tests {
         let data = separable_dataset(20);
         let svm = LinearSvm::train(&data, &SvmTrainConfig::default(), &mut rng());
         let x = vec![2.0, 2.0];
-        assert_eq!(svm.predict(&x), if svm.decision(&x) >= 0.0 { 1 } else { -1 });
+        assert_eq!(
+            svm.predict(&x),
+            if svm.decision(&x) >= 0.0 { 1 } else { -1 }
+        );
         assert_eq!(svm.predict(&x), 1);
         assert_eq!(svm.predict(&[-2.0, -2.0]), -1);
     }
@@ -216,7 +226,7 @@ mod tests {
         for i in 0..200 {
             let y: i8 = if i % 2 == 0 { 1 } else { -1 };
             let mut x: Vec<f32> = (0..8).map(|_| r.gen_range(-1.0..1.0)).collect();
-            x[3] = y as f32 * 3.0 + r.gen_range(-0.5..0.5);
+            x[3] = y as f32 * 3.0 + r.gen_range(-0.5f32..0.5);
             data.push((x, y));
         }
         let svm = LinearSvm::train(&data, &SvmTrainConfig::default(), &mut rng());

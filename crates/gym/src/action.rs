@@ -80,7 +80,10 @@ impl ActionSpace {
     ///
     /// Panics if `index` is out of range.
     pub fn decode(&self, index: usize) -> Action {
-        assert!(index < self.actions.len(), "action index {index} out of range");
+        assert!(
+            index < self.actions.len(),
+            "action index {index} out of range"
+        );
         self.actions[index]
     }
 

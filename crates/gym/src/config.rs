@@ -95,11 +95,7 @@ pub struct EnvConfig {
 impl EnvConfig {
     /// Creates a config over a single-level cache with the given address
     /// ranges and paper-default rewards.
-    pub fn new(
-        cache: CacheConfig,
-        attacker_addrs: (u64, u64),
-        victim_addrs: (u64, u64),
-    ) -> Self {
+    pub fn new(cache: CacheConfig, attacker_addrs: (u64, u64), victim_addrs: (u64, u64)) -> Self {
         let num_blocks = cache.num_blocks();
         Self {
             cache: CacheSpec::Single(cache),
@@ -248,7 +244,9 @@ mod tests {
     fn preset_configs_validate() {
         assert!(EnvConfig::prime_probe_dm4().validate().is_ok());
         assert!(EnvConfig::flush_reload_fa4().validate().is_ok());
-        assert!(EnvConfig::replacement_study(PolicyKind::Rrip).validate().is_ok());
+        assert!(EnvConfig::replacement_study(PolicyKind::Rrip)
+            .validate()
+            .is_ok());
         assert!(EnvConfig::pl_cache_study(true).validate().is_ok());
     }
 

@@ -243,7 +243,11 @@ impl CacheGuessingGame {
         match action {
             Action::Access(x) => {
                 let (observed_hit, _) = self.backend.access(x, Domain::Attacker);
-                let lat = if observed_hit { Latency::Hit } else { Latency::Miss };
+                let lat = if observed_hit {
+                    Latency::Hit
+                } else {
+                    Latency::Miss
+                };
                 (lat, rewards.step, false, info)
             }
             Action::Flush(x) => {
@@ -278,7 +282,11 @@ impl CacheGuessingGame {
                 // trigger there is nothing to guess and the guess is wrong.
                 let correct = self.victim_triggered && self.secret == Secret::Addr(y);
                 info.guessed = Some(correct);
-                let r = if correct { rewards.correct_guess } else { rewards.wrong_guess };
+                let r = if correct {
+                    rewards.correct_guess
+                } else {
+                    rewards.wrong_guess
+                };
                 (Latency::NotAvailable, r, true, info)
             }
             Action::GuessNoAccess => {
@@ -288,7 +296,11 @@ impl CacheGuessingGame {
                 }
                 let correct = self.victim_triggered && self.secret == Secret::NoAccess;
                 info.guessed = Some(correct);
-                let r = if correct { rewards.correct_guess } else { rewards.wrong_guess };
+                let r = if correct {
+                    rewards.correct_guess
+                } else {
+                    rewards.wrong_guess
+                };
                 (Latency::NotAvailable, r, true, info)
             }
         }
@@ -345,7 +357,12 @@ impl Environment for CacheGuessingGame {
             info.length_violation = true;
         }
         self.done = done;
-        StepResult { obs: self.encode_obs(), reward, done, info }
+        StepResult {
+            obs: self.encode_obs(),
+            reward,
+            done,
+            info,
+        }
     }
 }
 
@@ -380,19 +397,32 @@ mod tests {
         for _ in 0..episodes {
             env.reset(&mut r);
             env.step(env.action_space().encode(Action::Flush(0)).unwrap(), &mut r);
-            env.step(env.action_space().encode(Action::TriggerVictim).unwrap(), &mut r);
-            let probe = env.step(env.action_space().encode(Action::Access(0)).unwrap(), &mut r);
+            env.step(
+                env.action_space().encode(Action::TriggerVictim).unwrap(),
+                &mut r,
+            );
+            let probe = env.step(
+                env.action_space().encode(Action::Access(0)).unwrap(),
+                &mut r,
+            );
             // Decode: hit -> victim accessed 0; miss -> no access.
             let token_start = 0;
             let hit = probe.obs[token_start] == 1.0;
-            let guess = if hit { Action::Guess(0) } else { Action::GuessNoAccess };
+            let guess = if hit {
+                Action::Guess(0)
+            } else {
+                Action::GuessNoAccess
+            };
             let fin = env.step(env.action_space().encode(guess).unwrap(), &mut r);
             assert!(fin.done);
             if fin.info.guessed == Some(true) {
                 correct += 1;
             }
         }
-        assert_eq!(correct, episodes, "flush+reload must be 100% accurate on LRU sim");
+        assert_eq!(
+            correct, episodes,
+            "flush+reload must be 100% accurate on LRU sim"
+        );
     }
 
     #[test]
@@ -403,13 +433,21 @@ mod tests {
         for _ in 0..20 {
             env.reset(&mut r);
             for a in 4..8u64 {
-                env.step(env.action_space().encode(Action::Access(a)).unwrap(), &mut r);
+                env.step(
+                    env.action_space().encode(Action::Access(a)).unwrap(),
+                    &mut r,
+                );
             }
-            env.step(env.action_space().encode(Action::TriggerVictim).unwrap(), &mut r);
+            env.step(
+                env.action_space().encode(Action::TriggerVictim).unwrap(),
+                &mut r,
+            );
             let mut missed_set = None;
             for a in 4..8u64 {
-                let res =
-                    env.step(env.action_space().encode(Action::Access(a)).unwrap(), &mut r);
+                let res = env.step(
+                    env.action_space().encode(Action::Access(a)).unwrap(),
+                    &mut r,
+                );
                 let miss = res.obs[1] == 1.0;
                 if miss && missed_set.is_none() {
                     missed_set = Some(a - 4);
@@ -462,10 +500,7 @@ mod tests {
 
     #[test]
     fn episode_length_limit_enforced() {
-        let mut env = CacheGuessingGame::new(
-            EnvConfig::prime_probe_dm4().with_window(4),
-        )
-        .unwrap();
+        let mut env = CacheGuessingGame::new(EnvConfig::prime_probe_dm4().with_window(4)).unwrap();
         let mut r = rng();
         env.reset(&mut r);
         let mut last = None;
@@ -499,7 +534,10 @@ mod tests {
         env.force_secret(Some(Secret::Addr(0)));
         env.reset(&mut r);
         env.step(env.action_space().encode(Action::Flush(0)).unwrap(), &mut r);
-        let res = env.step(env.action_space().encode(Action::TriggerVictim).unwrap(), &mut r);
+        let res = env.step(
+            env.action_space().encode(Action::TriggerVictim).unwrap(),
+            &mut r,
+        );
         assert!(res.done);
         assert!(res.info.detected);
         assert_eq!(res.reward, env.config().rewards.detection);
@@ -515,15 +553,28 @@ mod tests {
         // Hammer the set with attacker lines; the victim's locked line must
         // still hit when triggered (no victim miss ever).
         for a in 1..=5u64 {
-            env.step(env.action_space().encode(Action::Access(a)).unwrap(), &mut r);
+            env.step(
+                env.action_space().encode(Action::Access(a)).unwrap(),
+                &mut r,
+            );
         }
         // Victim access must hit (line locked in cache).
         let before = env.drain_events();
         drop(before);
-        env.step(env.action_space().encode(Action::TriggerVictim).unwrap(), &mut r);
+        env.step(
+            env.action_space().encode(Action::TriggerVictim).unwrap(),
+            &mut r,
+        );
         let events = env.drain_events();
         let victim_miss = events.iter().any(|e| {
-            matches!(e, CacheEvent::Access { domain: Domain::Victim, hit: false, .. })
+            matches!(
+                e,
+                CacheEvent::Access {
+                    domain: Domain::Victim,
+                    hit: false,
+                    ..
+                }
+            )
         });
         assert!(!victim_miss, "locked victim line must hit");
     }
@@ -552,7 +603,10 @@ mod tests {
         let mut r = rng();
         env.force_secret(Some(Secret::Addr(0)));
         env.reset(&mut r);
-        let res = env.step(env.action_space().encode(Action::Access(1)).unwrap(), &mut r);
+        let res = env.step(
+            env.action_space().encode(Action::Access(1)).unwrap(),
+            &mut r,
+        );
         // Latency slot must read N.A. (index 2 of the most recent token).
         assert_eq!(res.obs[2], 1.0, "latency must be masked");
         assert_eq!(res.obs[0] + res.obs[1], 0.0);

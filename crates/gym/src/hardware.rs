@@ -75,9 +75,9 @@ impl HardwareProfile {
     /// CPU model string as in Table III.
     pub fn cpu(&self) -> &'static str {
         match self {
-            HardwareProfile::SkylakeL1 | HardwareProfile::SkylakeL2 | HardwareProfile::SkylakeL3 => {
-                "Core i7-6700 (SkyLake)"
-            }
+            HardwareProfile::SkylakeL1
+            | HardwareProfile::SkylakeL2
+            | HardwareProfile::SkylakeL3 => "Core i7-6700 (SkyLake)",
             HardwareProfile::KabylakeL3W4 | HardwareProfile::KabylakeL3W8 => {
                 "Core i7-7700K (KabyLake)"
             }
@@ -157,8 +157,8 @@ pub struct SimulatedProcessor {
 impl SimulatedProcessor {
     /// Builds the simulated processor for a profile.
     pub fn new(profile: HardwareProfile, seed: u64) -> Self {
-        let config = CacheConfig::fully_associative(profile.ways())
-            .with_policy(profile.hidden_policy());
+        let config =
+            CacheConfig::fully_associative(profile.ways()).with_policy(profile.hidden_policy());
         Self {
             cache: Cache::new(config),
             noise: profile.noise(),
@@ -169,7 +169,12 @@ impl SimulatedProcessor {
 
     /// Builds a custom blackbox processor (for tests and ablations).
     pub fn custom(config: CacheConfig, noise: NoiseModel, seed: u64) -> Self {
-        Self { cache: Cache::new(config), noise, rng: StdRng::seed_from_u64(seed), accesses: 0 }
+        Self {
+            cache: Cache::new(config),
+            noise,
+            rng: StdRng::seed_from_u64(seed),
+            accesses: 0,
+        }
     }
 
     /// Performs a timed access; returns the *observed* (noisy) hit outcome
@@ -177,7 +182,11 @@ impl SimulatedProcessor {
     pub fn access_timed(&mut self, addr: u64, domain: Domain) -> (bool, bool) {
         self.accesses += 1;
         let true_hit = self.cache.access(addr, domain).hit;
-        let observed = if self.rng.gen_bool(self.noise.flip_prob) { !true_hit } else { true_hit };
+        let observed = if self.rng.gen_bool(self.noise.flip_prob) {
+            !true_hit
+        } else {
+            true_hit
+        };
         (observed, true_hit)
     }
 
@@ -214,11 +223,8 @@ mod tests {
 
     #[test]
     fn noiseless_processor_matches_cache_model() {
-        let mut p = SimulatedProcessor::custom(
-            CacheConfig::fully_associative(4),
-            NoiseModel::none(),
-            1,
-        );
+        let mut p =
+            SimulatedProcessor::custom(CacheConfig::fully_associative(4), NoiseModel::none(), 1);
         let (obs, truth) = p.access_timed(0, Domain::Attacker);
         assert!(!obs && !truth);
         let (obs, truth) = p.access_timed(0, Domain::Attacker);
@@ -260,7 +266,10 @@ mod tests {
         let mut a = SimulatedProcessor::new(HardwareProfile::SkylakeL1, 5);
         let mut b = SimulatedProcessor::new(HardwareProfile::SkylakeL1, 5);
         for addr in [0u64, 3, 7, 0, 9, 3] {
-            assert_eq!(a.access_timed(addr, Domain::Attacker), b.access_timed(addr, Domain::Attacker));
+            assert_eq!(
+                a.access_timed(addr, Domain::Attacker),
+                b.access_timed(addr, Domain::Attacker)
+            );
         }
     }
 }

@@ -15,6 +15,9 @@
 //! * [`hardware::SimulatedProcessor`] — the blackbox "real hardware" backend
 //!   substituting for CacheQuery on Intel machines (Table III); hidden
 //!   replacement policy, timing noise, optional batched-measurement masking.
+//! * [`vecenv::VecEnv`] — N independent lanes of any [`Environment`],
+//!   stepped together so the policy can run one batched forward per step;
+//!   a single lane is bit-for-bit compatible with the scalar loop.
 //!
 //! # Example
 //!
@@ -36,6 +39,7 @@ pub mod env;
 pub mod hardware;
 pub mod multi;
 pub mod obs;
+pub mod vecenv;
 
 pub use action::{Action, ActionSpace};
 pub use config::{CacheSpec, DetectionMode, EnvConfig, RewardConfig};
@@ -43,6 +47,7 @@ pub use env::CacheGuessingGame;
 pub use hardware::{HardwareProfile, NoiseModel, SimulatedProcessor};
 pub use multi::{MultiGuessConfig, MultiGuessEnv};
 pub use obs::ObsEncoder;
+pub use vecenv::{FinishedEpisode, LaneStep, VecEnv};
 
 use rand::rngs::StdRng;
 

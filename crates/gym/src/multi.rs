@@ -64,7 +64,13 @@ impl MultiGuessConfig {
     pub fn fig3_baseline() -> Self {
         let mut base = EnvConfig::prime_probe_dm4();
         base.window_size = 16;
-        Self { base, episode_len: 160, no_guess_penalty: -2.0, autocorr: None, svm: None }
+        Self {
+            base,
+            episode_len: 160,
+            no_guess_penalty: -2.0,
+            autocorr: None,
+            svm: None,
+        }
     }
 
     /// Adds the autocorrelation L2 penalty (RL-autocor).
@@ -75,7 +81,11 @@ impl MultiGuessConfig {
 
     /// Adds the SVM detection penalty (RL-SVM).
     pub fn with_svm(mut self, svm: LinearSvm, features: CycloneFeatures, penalty: f32) -> Self {
-        self.svm = Some(SvmPenalty { svm, features, penalty });
+        self.svm = Some(SvmPenalty {
+            svm,
+            features,
+            penalty,
+        });
         self
     }
 }
@@ -228,7 +238,11 @@ impl MultiGuessEnv {
             penalty += ac.weight * (sum_sq / ac.max_lag as f64) as f32;
         }
         self.stats.max_autocorr = train.max_autocorrelation(
-            self.config.autocorr.as_ref().map(|a| a.max_lag).unwrap_or(30),
+            self.config
+                .autocorr
+                .as_ref()
+                .map(|a| a.max_lag)
+                .unwrap_or(30),
         );
         if let Some(svm) = &self.config.svm {
             let features = svm.features.extract(&self.episode_events);
@@ -261,8 +275,16 @@ impl Environment for MultiGuessEnv {
 
     fn reset(&mut self, rng: &mut StdRng) -> Vec<f32> {
         self.backend.reset();
-        let lo = self.config.base.attacker_addr_s.min(self.config.base.victim_addr_s);
-        let hi = self.config.base.attacker_addr_e.max(self.config.base.victim_addr_e);
+        let lo = self
+            .config
+            .base
+            .attacker_addr_s
+            .min(self.config.base.victim_addr_s);
+        let hi = self
+            .config
+            .base
+            .attacker_addr_e
+            .max(self.config.base.victim_addr_e);
         for _ in 0..self.config.base.init_accesses {
             let addr = rng.gen_range(lo..=hi);
             self.backend.access(addr, autocat_cache::Domain::Attacker);
@@ -321,7 +343,11 @@ impl Environment for MultiGuessEnv {
                 self.stats.guesses += 1;
                 self.stats.correct_guesses += usize::from(correct);
                 info.guessed = Some(correct);
-                reward = if correct { rewards.correct_guess } else { rewards.wrong_guess };
+                reward = if correct {
+                    rewards.correct_guess
+                } else {
+                    rewards.wrong_guess
+                };
                 if self.victim_triggered {
                     // Next secret; the victim must be re-triggered for it.
                     self.secret = self.sample_secret(rng);
@@ -334,7 +360,11 @@ impl Environment for MultiGuessEnv {
                 self.stats.guesses += 1;
                 self.stats.correct_guesses += usize::from(correct);
                 info.guessed = Some(correct);
-                reward = if correct { rewards.correct_guess } else { rewards.wrong_guess };
+                reward = if correct {
+                    rewards.correct_guess
+                } else {
+                    rewards.wrong_guess
+                };
                 if self.victim_triggered {
                     self.secret = self.sample_secret(rng);
                     self.victim_triggered = false;
@@ -357,7 +387,12 @@ impl Environment for MultiGuessEnv {
             info.detected |= detected;
         }
         self.done = done;
-        StepResult { obs: self.encoder.encode(&self.history, false), reward, done, info }
+        StepResult {
+            obs: self.encoder.encode(&self.history, false),
+            reward,
+            done,
+            info,
+        }
     }
 }
 
@@ -375,7 +410,6 @@ mod tests {
     fn run_textbook(env: &mut MultiGuessEnv, r: &mut StdRng) {
         env.reset(r);
         let space = env.action_space().clone();
-        let mut primed: Option<Vec<bool>> = None;
         'outer: loop {
             // Prime 4..8.
             for a in 4..8u64 {
@@ -402,8 +436,6 @@ mod tests {
             }
             let guess = miss_set.unwrap_or(0);
             let res = env.step(space.encode(Action::Guess(guess)).unwrap(), r);
-            primed = None;
-            let _ = &primed;
             if res.done {
                 break;
             }
@@ -428,10 +460,8 @@ mod tests {
 
     #[test]
     fn textbook_prime_probe_is_accurate_and_periodic() {
-        let mut env = MultiGuessEnv::new(
-            MultiGuessConfig::fig3_baseline().with_autocorr(-1.0, 30),
-        )
-        .unwrap();
+        let mut env =
+            MultiGuessEnv::new(MultiGuessConfig::fig3_baseline().with_autocorr(-1.0, 30)).unwrap();
         let mut r = rng();
         run_textbook(&mut env, &mut r);
         let stats = env.stats().clone();
@@ -457,7 +487,10 @@ mod tests {
         assert_eq!(res.info.guessed, Some(false));
         assert_eq!(env.secret(), Secret::Addr(1));
         // Trigger, then guess: correct, and the next secret is armed.
-        env.step(env.action_space().encode(Action::TriggerVictim).unwrap(), &mut r);
+        env.step(
+            env.action_space().encode(Action::TriggerVictim).unwrap(),
+            &mut r,
+        );
         let res = env.step(g, &mut r);
         assert_eq!(res.info.guessed, Some(true));
         assert_eq!(env.secret(), Secret::Addr(2));
@@ -479,7 +512,10 @@ mod tests {
                 break;
             }
         }
-        assert!(total < -5.0 + 0.5, "total {total} must include no-guess penalty");
+        assert!(
+            total < -5.0 + 0.5,
+            "total {total} must include no-guess penalty"
+        );
     }
 
     #[test]
@@ -498,7 +534,10 @@ mod tests {
         let mut env = MultiGuessEnv::new(cfg).unwrap();
         let mut r = rng();
         run_textbook(&mut env, &mut r);
-        assert!(env.stats().svm_detected, "textbook PP must trip the toy SVM");
+        assert!(
+            env.stats().svm_detected,
+            "textbook PP must trip the toy SVM"
+        );
     }
 
     #[test]

@@ -45,8 +45,14 @@ impl ObsEncoder {
     ///
     /// Panics if either argument is zero.
     pub fn new(window: usize, num_actions: usize) -> Self {
-        assert!(window > 0 && num_actions > 0, "window and num_actions must be positive");
-        Self { window, num_actions }
+        assert!(
+            window > 0 && num_actions > 0,
+            "window and num_actions must be positive"
+        );
+        Self {
+            window,
+            num_actions,
+        }
     }
 
     /// Features per token: 3 (latency one-hot) + `num_actions` (action
@@ -75,7 +81,11 @@ impl ObsEncoder {
         let mut obs = vec![0.0f32; self.obs_dim()];
         for (slot, rec) in history.iter().rev().take(self.window).enumerate() {
             let base = slot * token;
-            let latency = if mask_latency { Latency::NotAvailable } else { rec.latency };
+            let latency = if mask_latency {
+                Latency::NotAvailable
+            } else {
+                rec.latency
+            };
             let lat_idx = match latency {
                 Latency::Hit => 0,
                 Latency::Miss => 1,
@@ -84,8 +94,7 @@ impl ObsEncoder {
             obs[base + lat_idx] = 1.0;
             debug_assert!(rec.action < self.num_actions, "action out of range");
             obs[base + 3 + rec.action] = 1.0;
-            obs[base + 3 + self.num_actions] =
-                (rec.step_index as f32 + 1.0) / self.window as f32;
+            obs[base + 3 + self.num_actions] = (rec.step_index as f32 + 1.0) / self.window as f32;
             obs[base + 3 + self.num_actions + 1] = if rec.victim_triggered { 1.0 } else { 0.0 };
         }
         obs
@@ -97,7 +106,12 @@ mod tests {
     use super::*;
 
     fn rec(action: usize, latency: Latency, step: usize, trig: bool) -> StepRecord {
-        StepRecord { action, latency, step_index: step, victim_triggered: trig }
+        StepRecord {
+            action,
+            latency,
+            step_index: step,
+            victim_triggered: trig,
+        }
     }
 
     #[test]
@@ -116,7 +130,10 @@ mod tests {
     #[test]
     fn most_recent_record_fills_slot_zero() {
         let e = ObsEncoder::new(2, 3);
-        let h = vec![rec(0, Latency::Hit, 0, false), rec(2, Latency::Miss, 1, true)];
+        let h = vec![
+            rec(0, Latency::Hit, 0, false),
+            rec(2, Latency::Miss, 1, true),
+        ];
         let obs = e.encode(&h, false);
         let token = e.token_dim();
         // Slot 0 = most recent (action 2, miss, triggered).
@@ -142,7 +159,9 @@ mod tests {
         assert_eq!(obs[1], 1.0);
         assert_eq!(obs[token + 3 + 1], 1.0);
         // The oldest record is dropped: total one-hot mass is 2 tokens.
-        let lat_mass: f32 = (0..2).map(|s| obs[s * token] + obs[s * token + 1] + obs[s * token + 2]).sum();
+        let lat_mass: f32 = (0..2)
+            .map(|s| obs[s * token] + obs[s * token + 1] + obs[s * token + 2])
+            .sum();
         assert_eq!(lat_mass, 2.0);
     }
 
@@ -158,7 +177,10 @@ mod tests {
     #[test]
     fn step_fraction_increases() {
         let e = ObsEncoder::new(4, 2);
-        let h = vec![rec(0, Latency::Hit, 0, false), rec(0, Latency::Hit, 3, false)];
+        let h = vec![
+            rec(0, Latency::Hit, 0, false),
+            rec(0, Latency::Hit, 3, false),
+        ];
         let obs = e.encode(&h, false);
         let token = e.token_dim();
         let frac_recent = obs[3 + 2];

@@ -21,10 +21,16 @@ impl Categorical {
     ///
     /// Panics if `logits` is empty.
     pub fn from_logits(logits: &[f32]) -> Self {
-        assert!(!logits.is_empty(), "categorical needs at least one category");
+        assert!(
+            !logits.is_empty(),
+            "categorical needs at least one category"
+        );
         let mut probs = logits.to_vec();
         softmax_inplace(&mut probs);
-        Self { logits: logits.to_vec(), probs }
+        Self {
+            logits: logits.to_vec(),
+            probs,
+        }
     }
 
     /// Number of categories.
@@ -140,8 +146,8 @@ mod tests {
         for _ in 0..n {
             counts[d.sample(&mut rng)] += 1;
         }
-        for a in 0..3 {
-            let freq = counts[a] as f32 / n as f32;
+        for (a, &count) in counts.iter().enumerate() {
+            let freq = count as f32 / n as f32;
             assert!(
                 (freq - d.probs()[a]).abs() < 0.02,
                 "action {a}: freq {freq} vs prob {}",
@@ -170,7 +176,11 @@ mod tests {
             let numeric = (Categorical::from_logits(&lp).log_prob(2)
                 - Categorical::from_logits(&lm).log_prob(2))
                 / (2.0 * eps);
-            assert!((numeric - g[i]).abs() < 1e-3, "i={i}: {numeric} vs {}", g[i]);
+            assert!(
+                (numeric - g[i]).abs() < 1e-3,
+                "i={i}: {numeric} vs {}",
+                g[i]
+            );
         }
     }
 
@@ -188,7 +198,11 @@ mod tests {
             let numeric = (Categorical::from_logits(&lp).entropy()
                 - Categorical::from_logits(&lm).entropy())
                 / (2.0 * eps);
-            assert!((numeric - g[i]).abs() < 1e-3, "i={i}: {numeric} vs {}", g[i]);
+            assert!(
+                (numeric - g[i]).abs() < 1e-3,
+                "i={i}: {numeric} vs {}",
+                g[i]
+            );
         }
     }
 

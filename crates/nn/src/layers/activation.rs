@@ -60,7 +60,10 @@ pub struct Activation {
 impl Activation {
     /// Creates an activation layer of the given kind.
     pub fn new(kind: ActivationKind) -> Self {
-        Self { kind, cached_input: None }
+        Self {
+            kind,
+            cached_input: None,
+        }
     }
 
     /// The activation kind.

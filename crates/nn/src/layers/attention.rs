@@ -40,7 +40,7 @@ impl MultiHeadAttention {
     /// Panics if `d_model` is not divisible by `num_heads`.
     pub fn new(d_model: usize, num_heads: usize, rng: &mut impl Rng) -> Self {
         assert!(
-            d_model % num_heads == 0,
+            d_model.is_multiple_of(num_heads),
             "d_model {} not divisible by num_heads {}",
             d_model,
             num_heads
@@ -106,7 +106,12 @@ impl MultiHeadAttention {
             self.scatter_head(&mut concat, &out_h, h);
             attn_per_head.push(attn);
         }
-        self.cache = Some(AttnCache { q, k, v, attn: attn_per_head });
+        self.cache = Some(AttnCache {
+            q,
+            k,
+            v,
+            attn: attn_per_head,
+        });
         self.wo.forward(&concat)
     }
 
@@ -213,16 +218,24 @@ mod tests {
     #[test]
     fn gradient_check_input() {
         let mut mha = MultiHeadAttention::new(4, 2, &mut rng());
-        let x = Matrix::from_rows(&[&[0.5, -0.2, 0.1, 0.3], &[-0.4, 0.6, 0.0, -0.1], &[
-            0.2, 0.2, -0.3, 0.4,
-        ]]);
+        let x = Matrix::from_rows(&[
+            &[0.5, -0.2, 0.1, 0.3],
+            &[-0.4, 0.6, 0.0, -0.1],
+            &[0.2, 0.2, -0.3, 0.4],
+        ]);
         // Loss = weighted sum of outputs.
-        let w = Matrix::from_rows(&[&[1.0, -1.0, 0.5, 2.0], &[0.3, 0.7, -0.2, 1.1], &[
-            -0.6, 0.4, 0.9, -1.2,
-        ]]);
+        let w = Matrix::from_rows(&[
+            &[1.0, -1.0, 0.5, 2.0],
+            &[0.3, 0.7, -0.2, 1.1],
+            &[-0.6, 0.4, 0.9, -1.2],
+        ]);
         let loss = |mha: &mut MultiHeadAttention, x: &Matrix| -> f32 {
             let y = mha.forward(x);
-            y.as_slice().iter().zip(w.as_slice().iter()).map(|(a, b)| a * b).sum()
+            y.as_slice()
+                .iter()
+                .zip(w.as_slice().iter())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         loss(&mut mha, &x);
         let dx = mha.backward(&w);
@@ -248,7 +261,11 @@ mod tests {
         let w = Matrix::from_rows(&[&[1.0, -1.0, 0.5, 2.0], &[0.3, 0.7, -0.2, 1.1]]);
         let loss = |mha: &mut MultiHeadAttention, x: &Matrix| -> f32 {
             let y = mha.forward(x);
-            y.as_slice().iter().zip(w.as_slice().iter()).map(|(a, b)| a * b).sum()
+            y.as_slice()
+                .iter()
+                .zip(w.as_slice().iter())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         loss(&mut mha, &x);
         mha.backward(&w);

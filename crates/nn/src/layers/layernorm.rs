@@ -133,7 +133,12 @@ mod tests {
         let mut ln = LayerNorm::new(4);
         let y = ln.forward(&Matrix::from_row(&[1.0, 2.0, 3.0, 4.0]));
         let mean: f32 = y.row(0).iter().sum::<f32>() / 4.0;
-        let var: f32 = y.row(0).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        let var: f32 = y
+            .row(0)
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }

@@ -18,14 +18,27 @@ pub struct Matrix {
 }
 
 impl Matrix {
+    /// Row-block size of the register-blocked [`Matrix::matmul`] kernel.
+    pub const MM_ROW_BLOCK: usize = 4;
+    /// Column-block size of the register-blocked [`Matrix::matmul`] kernel.
+    pub const MM_COL_BLOCK: usize = 16;
+
     /// Creates a `rows` x `cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows` x `cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a matrix from a row-major data vector.
@@ -63,7 +76,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "inconsistent row lengths");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -107,7 +124,12 @@ impl Matrix {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row(&self, r: usize) -> &[f32] {
-        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -117,7 +139,12 @@ impl Matrix {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -132,6 +159,18 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
+    /// Hybrid kernel dispatched per block of [`Self::MM_ROW_BLOCK`] rows:
+    ///
+    /// * **Sparse row blocks** (mostly-zero inputs, e.g. one-hot
+    ///   observation encodings hitting the first layer) use a k-outer axpy
+    ///   that skips zero inputs entirely — one zero test per input value.
+    /// * **Dense row blocks** (hidden activations) are packed k-major and
+    ///   multiplied with a register-blocked kernel: [`Self::MM_COL_BLOCK`]
+    ///   output columns accumulate in registers while each loaded `other`
+    ///   value serves the whole row block, so batched forwards (many rows
+    ///   per call) amortize the weight traffic that dominates one-row
+    ///   inference.
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols() != other.rows()`.
@@ -141,19 +180,55 @@ impl Matrix {
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        const RB: usize = Matrix::MM_ROW_BLOCK;
+        let (m, inner, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        // Scratch for the dense kernel's k-major repack; allocated only
+        // when a multi-row block takes the dense path (one-row forwards
+        // and narrow heads never need it).
+        let mut pack: Vec<f32> = Vec::new();
+        let mut i0 = 0;
+        while i0 < m {
+            let rb = RB.min(m - i0);
+            let block_a = &self.data[i0 * inner..(i0 + rb) * inner];
+            // Narrow outputs (the scalar value head, small policy heads)
+            // have too little work per packed row to amortize the dense
+            // kernel's repacking; count nonzeros only when it matters.
+            let use_axpy = n < Matrix::MM_COL_BLOCK || {
+                let nonzero = block_a.iter().filter(|v| **v != 0.0).count();
+                nonzero * 4 < rb * inner
+            };
+            if use_axpy {
+                // Sparse path: skip zero inputs, full-width axpy.
+                for r in 0..rb {
+                    let a_row = &block_a[r * inner..(r + 1) * inner];
+                    let out_row = &mut out.data[(i0 + r) * n..(i0 + r + 1) * n];
+                    for (k, &a) in a_row.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_row = &other.data[k * n..(k + 1) * n];
+                        for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                            *o += a * b;
+                        }
+                    }
                 }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+            } else {
+                // rb == 1 has a pack-free fast path inside the kernel.
+                if rb > 1 && pack.is_empty() {
+                    pack.resize(RB * inner, 0.0);
                 }
+                dense_block_matmul(
+                    block_a,
+                    &other.data,
+                    &mut out.data[i0 * n..(i0 + rb) * n],
+                    rb,
+                    inner,
+                    n,
+                    &mut pack,
+                );
             }
+            i0 += rb;
         }
         out
     }
@@ -380,14 +455,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -412,6 +493,92 @@ impl fmt::Debug for Matrix {
             writeln!(f, "  ...")?;
         }
         write!(f, "]")
+    }
+}
+
+/// Dense register-blocked micro-kernel behind [`Matrix::matmul`]: computes
+/// `out_block = a_block * b` for a block of `rb <= MM_ROW_BLOCK` rows.
+/// `a_block` is repacked k-major into `pack` so the inner loop reads it
+/// contiguously; accumulators for `MM_COL_BLOCK` output columns stay in
+/// registers across the whole k walk.
+fn dense_block_matmul(
+    a_block: &[f32],
+    b: &[f32],
+    out_block: &mut [f32],
+    rb: usize,
+    inner: usize,
+    n: usize,
+    pack: &mut [f32],
+) {
+    const RB: usize = Matrix::MM_ROW_BLOCK;
+    const CB: usize = Matrix::MM_COL_BLOCK;
+    debug_assert!(rb <= RB && (rb == 1 || pack.len() >= RB * inner));
+    if rb == 1 {
+        // One row is already k-contiguous; packing would only add traffic.
+        let a_row = &a_block[..inner];
+        let mut j0 = 0;
+        while j0 < n {
+            let cb = CB.min(n - j0);
+            let mut acc = [0.0f32; CB];
+            if cb == CB {
+                for (k, &a) in a_row.iter().enumerate() {
+                    let b_row: &[f32; CB] = b[k * n + j0..k * n + j0 + CB]
+                        .try_into()
+                        .expect("block width");
+                    for c in 0..CB {
+                        acc[c] += a * b_row[c];
+                    }
+                }
+            } else {
+                for (k, &a) in a_row.iter().enumerate() {
+                    let b_row = &b[k * n + j0..k * n + j0 + cb];
+                    for (c, &bv) in b_row.iter().enumerate() {
+                        acc[c] += a * bv;
+                    }
+                }
+            }
+            out_block[j0..j0 + cb].copy_from_slice(&acc[..cb]);
+            j0 += cb;
+        }
+        return;
+    }
+    // Repack k-major: pack[k*RB + r] = a_block[r*inner + k]; unused rows of
+    // a partial block are zero so the kernel below needs no edge cases.
+    for k in 0..inner {
+        for r in 0..RB {
+            pack[k * RB + r] = if r < rb { a_block[r * inner + k] } else { 0.0 };
+        }
+    }
+    let pack = &pack[..inner * RB];
+    let mut j0 = 0;
+    while j0 < n {
+        let cb = CB.min(n - j0);
+        let mut acc = [[0.0f32; CB]; RB];
+        if cb == CB {
+            for (k, av) in pack.chunks_exact(RB).enumerate() {
+                let b_row: &[f32; CB] = b[k * n + j0..k * n + j0 + CB]
+                    .try_into()
+                    .expect("block width");
+                for (acc_r, &a) in acc.iter_mut().zip(av.iter()) {
+                    for c in 0..CB {
+                        acc_r[c] += a * b_row[c];
+                    }
+                }
+            }
+        } else {
+            for (k, av) in pack.chunks_exact(RB).enumerate() {
+                let b_row = &b[k * n + j0..k * n + j0 + cb];
+                for (acc_r, &a) in acc.iter_mut().zip(av.iter()) {
+                    for (c, &bv) in b_row.iter().enumerate() {
+                        acc_r[c] += a * bv;
+                    }
+                }
+            }
+        }
+        for (r, acc_r) in acc.iter().enumerate().take(rb) {
+            out_block[r * n + j0..r * n + j0 + cb].copy_from_slice(&acc_r[..cb]);
+        }
+        j0 += cb;
     }
 }
 
@@ -474,6 +641,60 @@ mod tests {
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
         let c = a.matmul(&b);
         assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    /// Naive triple loop, the correctness oracle for the blocked kernel.
+    fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0f32;
+                for k in 0..a.cols() {
+                    acc += a[(i, k)] * b[(k, j)];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_across_shapes() {
+        // Exercise every block-edge case: under, exactly at, and past the
+        // 4x16 register blocks, plus single rows/cols and sparse inputs.
+        let shapes = [
+            (1, 1, 1),
+            (1, 384, 128),
+            (3, 5, 7),
+            (4, 16, 16),
+            (5, 17, 33),
+            (8, 128, 11),
+            (9, 2, 50),
+        ];
+        let mut state = 0x1234_5678_u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        for &(m, k, n) in &shapes {
+            let mut a = Matrix::zeros(m, k);
+            for v in a.as_mut_slice() {
+                // Half the entries zero to exercise the sparsity skip.
+                let x = next();
+                *v = if x > 0.0 { x } else { 0.0 };
+            }
+            let mut b = Matrix::zeros(k, n);
+            for v in b.as_mut_slice() {
+                *v = next();
+            }
+            let fast = a.matmul(&b);
+            let naive = matmul_naive(&a, &b);
+            for (x, y) in fast.as_slice().iter().zip(naive.as_slice().iter()) {
+                assert!((x - y).abs() < 1e-4, "{m}x{k}x{n}: {x} vs {y}");
+            }
+        }
     }
 
     #[test]

@@ -67,18 +67,32 @@ impl MlpPolicy {
     ///
     /// Panics if `config.hidden` is empty or any dimension is zero.
     pub fn new(config: &MlpConfig, rng: &mut impl Rng) -> Self {
-        assert!(!config.hidden.is_empty(), "MLP needs at least one hidden layer");
-        assert!(config.obs_dim > 0 && config.num_actions > 0, "dimensions must be positive");
+        assert!(
+            !config.hidden.is_empty(),
+            "MLP needs at least one hidden layer"
+        );
+        assert!(
+            config.obs_dim > 0 && config.num_actions > 0,
+            "dimensions must be positive"
+        );
         let mut trunk = Vec::with_capacity(config.hidden.len());
         let mut in_dim = config.obs_dim;
         for &h in &config.hidden {
             assert!(h > 0, "hidden width must be positive");
-            trunk.push((Linear::new(in_dim, h, rng), Activation::new(config.activation)));
+            trunk.push((
+                Linear::new(in_dim, h, rng),
+                Activation::new(config.activation),
+            ));
             in_dim = h;
         }
         Self {
             trunk,
-            policy_head: Linear::with_gain(in_dim, config.num_actions, config.policy_head_gain, rng),
+            policy_head: Linear::with_gain(
+                in_dim,
+                config.num_actions,
+                config.policy_head_gain,
+                rng,
+            ),
             value_head: Linear::new(in_dim, 1, rng),
             obs_dim: config.obs_dim,
             num_actions: config.num_actions,

@@ -9,6 +9,10 @@ pub use transformer::{TransformerConfig, TransformerPolicy};
 use crate::matrix::Matrix;
 use crate::param::Param;
 
+/// Per-row loss gradients returned by a training callback:
+/// `(dL/dlogits, dL/dvalue)`.
+pub type RowGrad = (Vec<f32>, f32);
+
 /// A network with a categorical policy head and a scalar value head.
 ///
 /// PPO interacts with models exclusively through this trait so the MLP and
@@ -28,11 +32,7 @@ pub trait PolicyValueNet {
     /// gradients `(dL/dlogits_i, dL/dvalue_i)`. The model then backpropagates
     /// and accumulates parameter gradients (call [`PolicyValueNet::zero_grad`]
     /// first and an optimizer step afterwards).
-    fn train_batch(
-        &mut self,
-        obs: &Matrix,
-        grad_fn: &mut dyn FnMut(usize, &[f32], f32) -> (Vec<f32>, f32),
-    );
+    fn train_batch(&mut self, obs: &Matrix, grad_fn: &mut dyn FnMut(usize, &[f32], f32) -> RowGrad);
 
     /// Zeroes all accumulated gradients.
     fn zero_grad(&mut self);

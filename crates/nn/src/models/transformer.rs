@@ -95,17 +95,30 @@ impl TransformerPolicy {
     /// Panics if `d_model` is not divisible by `num_heads` or any dimension
     /// is zero.
     pub fn new(config: &TransformerConfig, rng: &mut impl Rng) -> Self {
-        assert!(config.seq_len > 0 && config.token_dim > 0, "dimensions must be positive");
+        assert!(
+            config.seq_len > 0 && config.token_dim > 0,
+            "dimensions must be positive"
+        );
         Self {
             embed: Linear::new(config.token_dim, config.d_model, rng),
-            pos: Param::new(crate::init::random_uniform(config.seq_len, config.d_model, 0.02, rng)),
+            pos: Param::new(crate::init::random_uniform(
+                config.seq_len,
+                config.d_model,
+                0.02,
+                rng,
+            )),
             attn: MultiHeadAttention::new(config.d_model, config.num_heads, rng),
             ln1: LayerNorm::new(config.d_model),
             ff1: Linear::new(config.d_model, config.ff_dim, rng),
             ff_act: Activation::new(ActivationKind::Relu),
             ff2: Linear::new(config.ff_dim, config.d_model, rng),
             ln2: LayerNorm::new(config.d_model),
-            policy_head: Linear::with_gain(config.d_model, config.num_actions, config.policy_head_gain, rng),
+            policy_head: Linear::with_gain(
+                config.d_model,
+                config.num_actions,
+                config.policy_head_gain,
+                rng,
+            ),
             value_head: Linear::new(config.d_model, 1, rng),
             config: config.clone(),
         }
@@ -136,7 +149,9 @@ impl TransformerPolicy {
         let mut res1 = x.clone();
         res1.add_assign(&attn_out);
         let y1 = self.ln1.forward(&res1);
-        let ff = self.ff2.forward(&self.ff_act.forward(&self.ff1.forward(&y1)));
+        let ff = self
+            .ff2
+            .forward(&self.ff_act.forward(&self.ff1.forward(&y1)));
         let mut res2 = y1.clone();
         res2.add_assign(&ff);
         let y2 = self.ln2.forward(&res2);
@@ -150,9 +165,7 @@ impl TransformerPolicy {
     /// Backward for the sequence last passed to `forward_single`.
     fn backward_single(&mut self, dlogits: &[f32], dvalue: f32) {
         let t = self.config.seq_len as f32;
-        let mut dpooled = self
-            .policy_head
-            .backward(&Matrix::from_row(dlogits));
+        let mut dpooled = self.policy_head.backward(&Matrix::from_row(dlogits));
         dpooled.add_assign(&self.value_head.backward(&Matrix::from_row(&[dvalue])));
         // Un-pool: each step receives dpooled / T.
         let mut dy2 = Matrix::zeros(self.config.seq_len, self.config.d_model);
@@ -163,7 +176,9 @@ impl TransformerPolicy {
         }
         let dres2 = self.ln2.backward(&dy2);
         // res2 = y1 + ff(y1): gradient flows both through FFN and residual.
-        let dff = self.ff1.backward(&self.ff_act.backward(&self.ff2.backward(&dres2)));
+        let dff = self
+            .ff1
+            .backward(&self.ff_act.backward(&self.ff2.backward(&dres2)));
         let mut dy1 = dres2;
         dy1.add_assign(&dff);
         let dres1 = self.ln1.backward(&dy1);
@@ -183,7 +198,11 @@ impl TransformerPolicy {
 
 impl PolicyValueNet for TransformerPolicy {
     fn forward(&mut self, obs: &Matrix) -> (Matrix, Vec<f32>) {
-        assert_eq!(obs.cols(), self.config.obs_dim(), "observation dim mismatch");
+        assert_eq!(
+            obs.cols(),
+            self.config.obs_dim(),
+            "observation dim mismatch"
+        );
         let mut logits = Matrix::zeros(obs.rows(), self.config.num_actions);
         let mut values = Vec::with_capacity(obs.rows());
         for i in 0..obs.rows() {
@@ -199,11 +218,19 @@ impl PolicyValueNet for TransformerPolicy {
         obs: &Matrix,
         grad_fn: &mut dyn FnMut(usize, &[f32], f32) -> (Vec<f32>, f32),
     ) {
-        assert_eq!(obs.cols(), self.config.obs_dim(), "observation dim mismatch");
+        assert_eq!(
+            obs.cols(),
+            self.config.obs_dim(),
+            "observation dim mismatch"
+        );
         for i in 0..obs.rows() {
             let (logits, value) = self.forward_single(obs.row(i));
             let (dlogits, dvalue) = grad_fn(i, &logits, value);
-            assert_eq!(dlogits.len(), self.config.num_actions, "dlogits length mismatch");
+            assert_eq!(
+                dlogits.len(),
+                self.config.num_actions,
+                "dlogits length mismatch"
+            );
             self.backward_single(&dlogits, dvalue);
         }
     }

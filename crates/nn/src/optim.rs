@@ -24,7 +24,13 @@ impl Adam {
     /// Creates an Adam optimizer with the given learning rate and the
     /// conventional defaults `beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`.
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
     }
 
     /// Number of update steps taken so far.
@@ -57,10 +63,15 @@ impl Adam {
             v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
         }
         let value = p.value.as_mut_slice();
-        for i in 0..n {
-            let m_hat = p.m.as_slice()[i] / bc1;
-            let v_hat = p.v.as_slice()[i] / bc2;
-            value[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        for ((val, &m_i), &v_i) in value
+            .iter_mut()
+            .zip(p.m.as_slice().iter())
+            .zip(p.v.as_slice().iter())
+            .take(n)
+        {
+            let m_hat = m_i / bc1;
+            let v_hat = v_i / bc2;
+            *val -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
         }
     }
 }

@@ -54,7 +54,10 @@ pub fn evaluate(
     deterministic: bool,
     rng: &mut StdRng,
 ) -> EvalStats {
-    let mut stats = EvalStats { episodes, ..EvalStats::default() };
+    let mut stats = EvalStats {
+        episodes,
+        ..EvalStats::default()
+    };
     let mut return_sum = 0.0f32;
     let mut length_sum = 0usize;
     for _ in 0..episodes {
@@ -62,7 +65,11 @@ pub fn evaluate(
         loop {
             let (logits, _) = net.forward(&Matrix::from_row(&obs));
             let dist = Categorical::from_logits(logits.row(0));
-            let action = if deterministic { dist.argmax() } else { dist.sample(rng) };
+            let action = if deterministic {
+                dist.argmax()
+            } else {
+                dist.sample(rng)
+            };
             let result = env.step(action, rng);
             return_sum += result.reward;
             length_sum += 1;
@@ -117,7 +124,11 @@ pub fn extract_sequence(
         }
         obs = result.obs;
     };
-    ExtractedSequence { actions, correct, episode_return }
+    ExtractedSequence {
+        actions,
+        correct,
+        episode_return,
+    }
 }
 
 #[cfg(test)]
@@ -160,7 +171,10 @@ mod tests {
         let (mut env, mut net, mut rng) = setup();
         let seq = extract_sequence(&mut env, &mut net, &mut rng);
         assert!(!seq.actions.is_empty());
-        assert!(seq.actions.len() <= 32, "episode limit must bound the sequence");
+        assert!(
+            seq.actions.len() <= 32,
+            "episode limit must bound the sequence"
+        );
     }
 
     #[test]

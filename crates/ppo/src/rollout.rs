@@ -1,6 +1,14 @@
 //! Trajectory collection and generalized advantage estimation.
+//!
+//! Collection is vectorized: a [`VecEnv`] steps N environment lanes against
+//! **one batched policy forward per step** (an N-row observation
+//! [`Matrix`]), instead of N single-row forwards. Transitions are stored
+//! time-major (`index = t * num_lanes + lane`), and GAE runs per lane so
+//! advantages never leak across lane boundaries. With one lane the
+//! collected trajectory is bit-for-bit identical to the historical scalar
+//! loop (see [`VecEnv`]'s determinism contract).
 
-use autocat_gym::Environment;
+use autocat_gym::{Environment, VecEnv};
 use autocat_nn::models::PolicyValueNet;
 use autocat_nn::{Categorical, Matrix};
 use rand::rngs::StdRng;
@@ -9,12 +17,17 @@ use rand::rngs::StdRng;
 /// and value targets already computed.
 #[derive(Clone, Debug)]
 pub struct RolloutBatch {
-    /// Observations, one row per transition.
+    /// Observations, one row per transition (time-major across lanes).
     pub obs: Matrix,
     /// Action indices.
     pub actions: Vec<usize>,
     /// Behaviour-policy log-probabilities at collection time.
     pub logps: Vec<f32>,
+    /// Per-transition rewards (diagnostics; the optimizer consumes the
+    /// GAE outputs below).
+    pub rewards: Vec<f32>,
+    /// Per-transition episode-end flags.
+    pub dones: Vec<bool>,
     /// GAE advantages (normalized by the trainer).
     pub advantages: Vec<f32>,
     /// Discounted value targets (`advantage + value`).
@@ -85,7 +98,11 @@ pub fn gae(
     gamma: f32,
     lambda: f32,
 ) -> (Vec<f32>, Vec<f32>) {
-    assert_eq!(values.len(), rewards.len() + 1, "values needs a bootstrap entry");
+    assert_eq!(
+        values.len(),
+        rewards.len() + 1,
+        "values needs a bootstrap entry"
+    );
     assert_eq!(dones.len(), rewards.len(), "dones length mismatch");
     let n = rewards.len();
     let mut advantages = vec![0.0f32; n];
@@ -93,86 +110,115 @@ pub fn gae(
     for t in (0..n).rev() {
         let next_value = if dones[t] { 0.0 } else { values[t + 1] };
         let delta = rewards[t] + gamma * next_value - values[t];
-        last_adv = delta + if dones[t] { 0.0 } else { gamma * lambda * last_adv };
+        last_adv = delta
+            + if dones[t] {
+                0.0
+            } else {
+                gamma * lambda * last_adv
+            };
         advantages[t] = last_adv;
     }
-    let returns: Vec<f32> =
-        advantages.iter().zip(values[..n].iter()).map(|(a, v)| a + v).collect();
+    let returns: Vec<f32> = advantages
+        .iter()
+        .zip(values[..n].iter())
+        .map(|(a, v)| a + v)
+        .collect();
     (advantages, returns)
 }
 
-/// Collects `horizon` transitions from `env` under the current policy.
+/// Collects at least `horizon` transitions across all lanes of `venv`
+/// under the current policy.
 ///
-/// Episodes are reset as needed; the final partial episode is bootstrapped
-/// with the value estimate of its last observation.
-pub fn collect(
-    env: &mut impl Environment,
+/// Every step runs **one** batched forward over all lanes' observations,
+/// then steps each lane (in parallel across worker threads when available).
+/// Episodes auto-reset; each lane's final partial episode is bootstrapped
+/// with the value estimate of its last observation. The number of
+/// transitions returned is `horizon` rounded up to a multiple of the lane
+/// count.
+pub fn collect<E: Environment + Send>(
+    venv: &mut VecEnv<E>,
     net: &mut dyn PolicyValueNet,
     horizon: usize,
     gamma: f32,
     lambda: f32,
     rng: &mut StdRng,
 ) -> RolloutBatch {
-    let obs_dim = env.obs_dim();
-    let mut obs_rows: Vec<f32> = Vec::with_capacity(horizon * obs_dim);
-    let mut actions = Vec::with_capacity(horizon);
-    let mut logps = Vec::with_capacity(horizon);
-    let mut rewards = Vec::with_capacity(horizon);
-    let mut dones = Vec::with_capacity(horizon);
-    let mut values = Vec::with_capacity(horizon + 1);
+    let lanes = venv.num_lanes();
+    let obs_dim = venv.obs_dim();
+    let t_steps = horizon.div_ceil(lanes);
+    let total = t_steps * lanes;
+
+    let mut obs_rows: Vec<f32> = Vec::with_capacity(total * obs_dim);
+    let mut actions = Vec::with_capacity(total);
+    let mut logps = Vec::with_capacity(total);
+    let mut rewards = Vec::with_capacity(total);
+    let mut dones = Vec::with_capacity(total);
+    let mut values = Vec::with_capacity(total);
     let mut tally = EpisodeTally::default();
 
-    let mut obs = env.reset(rng);
-    let mut episode_return = 0.0f32;
-    let mut episode_len = 0usize;
-    for _ in 0..horizon {
-        let obs_mat = Matrix::from_row(&obs);
+    venv.reset_all(rng);
+    for _ in 0..t_steps {
+        let flat = venv.obs_flat();
+        let obs_mat = Matrix::from_vec(lanes, obs_dim, flat);
         let (logits, vals) = net.forward(&obs_mat);
-        let dist = Categorical::from_logits(logits.row(0));
-        let action = dist.sample(rng);
-        let logp = dist.log_prob(action);
-        let result = env.step(action, rng);
-
-        obs_rows.extend_from_slice(&obs);
-        actions.push(action);
-        logps.push(logp);
-        rewards.push(result.reward);
-        dones.push(result.done);
-        values.push(vals[0]);
-
-        episode_return += result.reward;
-        episode_len += 1;
-        if result.done {
-            tally.count += 1;
-            tally.return_sum += episode_return;
-            tally.length_sum += episode_len;
-            if let Some(correct) = result.info.guessed {
-                tally.guessed += 1;
-                tally.correct += usize::from(correct);
+        let results = venv.step_each(
+            |lane, lane_rng| {
+                let dist = Categorical::from_logits(logits.row(lane));
+                let action = dist.sample(lane_rng);
+                (action, dist.log_prob(action))
+            },
+            rng,
+        );
+        obs_rows.extend_from_slice(obs_mat.as_slice());
+        for (lane, step) in results.into_iter().enumerate() {
+            actions.push(step.action);
+            logps.push(step.payload);
+            rewards.push(step.reward);
+            dones.push(step.done);
+            values.push(vals[lane]);
+            if let Some(finished) = step.finished {
+                tally.count += 1;
+                tally.return_sum += finished.episode_return;
+                tally.length_sum += finished.length;
+                if let Some(correct) = step.info.guessed {
+                    tally.guessed += 1;
+                    tally.correct += usize::from(correct);
+                }
+                tally.detected += usize::from(step.info.detected);
             }
-            tally.detected += usize::from(result.info.detected);
-            episode_return = 0.0;
-            episode_len = 0;
-            obs = env.reset(rng);
-        } else {
-            obs = result.obs;
         }
     }
-    // Bootstrap value for the state after the last collected transition.
-    let bootstrap = if *dones.last().unwrap_or(&true) {
-        0.0
-    } else {
-        let obs_mat = Matrix::from_row(&obs);
-        let (_, vals) = net.forward(&obs_mat);
-        vals[0]
-    };
-    values.push(bootstrap);
 
-    let (advantages, returns) = gae(&rewards, &values, &dones, gamma, lambda);
+    // Bootstrap values for the state after each lane's last transition.
+    let boot_mat = Matrix::from_vec(lanes, obs_dim, venv.obs_flat());
+    let (_, boot_vals) = net.forward(&boot_mat);
+
+    // Per-lane GAE over the time-major storage.
+    let mut advantages = vec![0.0f32; total];
+    let mut returns = vec![0.0f32; total];
+    for lane in 0..lanes {
+        let lane_rewards: Vec<f32> = (0..t_steps).map(|t| rewards[t * lanes + lane]).collect();
+        let lane_dones: Vec<bool> = (0..t_steps).map(|t| dones[t * lanes + lane]).collect();
+        let mut lane_values: Vec<f32> = (0..t_steps).map(|t| values[t * lanes + lane]).collect();
+        let bootstrap = if *lane_dones.last().unwrap_or(&true) {
+            0.0
+        } else {
+            boot_vals[lane]
+        };
+        lane_values.push(bootstrap);
+        let (lane_adv, lane_ret) = gae(&lane_rewards, &lane_values, &lane_dones, gamma, lambda);
+        for t in 0..t_steps {
+            advantages[t * lanes + lane] = lane_adv[t];
+            returns[t * lanes + lane] = lane_ret[t];
+        }
+    }
+
     RolloutBatch {
-        obs: Matrix::from_vec(actions.len(), obs_dim, obs_rows),
+        obs: Matrix::from_vec(total, obs_dim, obs_rows),
         actions,
         logps,
+        rewards,
+        dones,
         advantages,
         returns,
         episodes: tally,
@@ -225,6 +271,45 @@ mod tests {
     }
 
     #[test]
+    fn gae_known_answer_two_step_chain() {
+        // Hand-computed: gamma = 0.5, lambda = 0.5, non-terminal chain.
+        //   delta_1 = r1 + g*v2 - v1 = 2.0 + 0.5*0.5 - 1.0   = 1.25
+        //   delta_0 = r0 + g*v1 - v0 = 1.0 + 0.5*1.0 - 2.0   = -0.5
+        //   A_1 = delta_1                                     = 1.25
+        //   A_0 = delta_0 + g*l*A_1 = -0.5 + 0.25*1.25        = -0.1875
+        //   R_t = A_t + v_t -> R_0 = 1.8125, R_1 = 2.25
+        let rewards = [1.0, 2.0];
+        let values = [2.0, 1.0, 0.5];
+        let dones = [false, false];
+        let (adv, ret) = gae(&rewards, &values, &dones, 0.5, 0.5);
+        assert!((adv[0] + 0.1875).abs() < 1e-6, "A_0 = {}", adv[0]);
+        assert!((adv[1] - 1.25).abs() < 1e-6, "A_1 = {}", adv[1]);
+        assert!((ret[0] - 1.8125).abs() < 1e-6, "R_0 = {}", ret[0]);
+        assert!((ret[1] - 2.25).abs() < 1e-6, "R_1 = {}", ret[1]);
+    }
+
+    #[test]
+    fn gae_known_answer_mid_trajectory_terminal() {
+        // Hand-computed: gamma = 0.9, lambda = 1.0, episode ends at t = 1.
+        //   delta_2 = 1.0 + 0.9*2.0 - 0.5 = 2.3   (bootstrapped tail)
+        //   A_2 = 2.3
+        //   delta_1 = 5.0 + 0 - 1.0 = 4.0          (terminal: no next value)
+        //   A_1 = 4.0                              (no leak from t = 2)
+        //   delta_0 = 0.0 + 0.9*1.0 - 2.0 = -1.1
+        //   A_0 = -1.1 + 0.9*4.0 = 2.5
+        let rewards = [0.0, 5.0, 1.0];
+        let values = [2.0, 1.0, 0.5, 2.0];
+        let dones = [false, true, false];
+        let (adv, ret) = gae(&rewards, &values, &dones, 0.9, 1.0);
+        assert!((adv[0] - 2.5).abs() < 1e-5, "A_0 = {}", adv[0]);
+        assert!((adv[1] - 4.0).abs() < 1e-5, "A_1 = {}", adv[1]);
+        assert!((adv[2] - 2.3).abs() < 1e-5, "A_2 = {}", adv[2]);
+        assert!((ret[0] - 4.5).abs() < 1e-5);
+        assert!((ret[1] - 5.0).abs() < 1e-5);
+        assert!((ret[2] - 2.8).abs() < 1e-5);
+    }
+
+    #[test]
     #[should_panic(expected = "bootstrap entry")]
     fn gae_requires_bootstrap() {
         let _ = gae(&[1.0], &[0.0], &[true], 0.99, 0.95);
@@ -232,19 +317,28 @@ mod tests {
 
     mod with_env {
         use super::*;
-        use autocat_gym::{env::CacheGuessingGame, EnvConfig};
+        use autocat_gym::{env::CacheGuessingGame, EnvConfig, StepResult};
         use autocat_nn::models::{MlpConfig, MlpPolicy};
         use rand::SeedableRng;
 
+        fn venv(lanes: usize, seed: u64) -> VecEnv<CacheGuessingGame> {
+            let env = CacheGuessingGame::new(EnvConfig::flush_reload_fa4()).unwrap();
+            VecEnv::new(lanes, env, seed).unwrap()
+        }
+
+        fn net(venv: &VecEnv<CacheGuessingGame>, rng: &mut StdRng) -> MlpPolicy {
+            MlpPolicy::new(
+                &MlpConfig::new(venv.obs_dim(), venv.num_actions()).with_hidden(vec![16]),
+                rng,
+            )
+        }
+
         #[test]
         fn collect_produces_full_horizon() {
-            let mut env = CacheGuessingGame::new(EnvConfig::flush_reload_fa4()).unwrap();
+            let mut venv = venv(1, 0);
             let mut rng = StdRng::seed_from_u64(1);
-            let mut net = MlpPolicy::new(
-                &MlpConfig::new(env.obs_dim(), env.num_actions()).with_hidden(vec![16]),
-                &mut rng,
-            );
-            let batch = collect(&mut env, &mut net, 200, 0.99, 0.95, &mut rng);
+            let mut net = net(&venv, &mut rng);
+            let batch = collect(&mut venv, &mut net, 200, 0.99, 0.95, &mut rng);
             assert_eq!(batch.actions.len(), 200);
             assert_eq!(batch.obs.rows(), 200);
             assert_eq!(batch.logps.len(), 200);
@@ -256,16 +350,152 @@ mod tests {
 
         #[test]
         fn collect_tally_tracks_guesses() {
-            let mut env = CacheGuessingGame::new(EnvConfig::flush_reload_fa4()).unwrap();
+            let mut venv = venv(1, 0);
             let mut rng = StdRng::seed_from_u64(2);
-            let mut net = MlpPolicy::new(
-                &MlpConfig::new(env.obs_dim(), env.num_actions()).with_hidden(vec![16]),
-                &mut rng,
-            );
-            let batch = collect(&mut env, &mut net, 500, 0.99, 0.95, &mut rng);
+            let mut net = net(&venv, &mut rng);
+            let batch = collect(&mut venv, &mut net, 500, 0.99, 0.95, &mut rng);
             // A random policy guesses sometimes; guessed <= episodes.
             assert!(batch.episodes.guessed <= batch.episodes.count);
             assert!(batch.episodes.correct <= batch.episodes.guessed);
+        }
+
+        #[test]
+        fn multi_lane_collect_rounds_horizon_up() {
+            let mut venv = venv(8, 3);
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut net = net(&venv, &mut rng);
+            let batch = collect(&mut venv, &mut net, 100, 0.99, 0.95, &mut rng);
+            // 100 rounded up to a multiple of 8.
+            assert_eq!(batch.actions.len(), 104);
+            assert_eq!(batch.obs.rows(), 104);
+            assert_eq!(batch.advantages.len(), 104);
+            assert!(batch.episodes.count > 0);
+        }
+
+        /// The scalar reference loop this module used before vectorization:
+        /// one env, one-row forwards, sampling and stepping interleaved on
+        /// one RNG stream. Kept verbatim as the determinism oracle.
+        fn scalar_reference_collect(
+            env: &mut CacheGuessingGame,
+            net: &mut dyn PolicyValueNet,
+            horizon: usize,
+            gamma: f32,
+            lambda: f32,
+            rng: &mut StdRng,
+        ) -> (Vec<usize>, Vec<f32>, Vec<f32>, Vec<f32>) {
+            use autocat_gym::Environment;
+            let mut actions = Vec::new();
+            let mut logps = Vec::new();
+            let mut rewards = Vec::new();
+            let mut dones = Vec::new();
+            let mut values = Vec::new();
+            let mut obs = env.reset(rng);
+            for _ in 0..horizon {
+                let obs_mat = Matrix::from_row(&obs);
+                let (logits, vals) = net.forward(&obs_mat);
+                let dist = Categorical::from_logits(logits.row(0));
+                let action = dist.sample(rng);
+                let logp = dist.log_prob(action);
+                let StepResult {
+                    obs: next_obs,
+                    reward,
+                    done,
+                    ..
+                } = env.step(action, rng);
+                actions.push(action);
+                logps.push(logp);
+                rewards.push(reward);
+                dones.push(done);
+                values.push(vals[0]);
+                obs = if done { env.reset(rng) } else { next_obs };
+            }
+            let bootstrap = if *dones.last().unwrap() {
+                0.0
+            } else {
+                let (_, vals) = net.forward(&Matrix::from_row(&obs));
+                vals[0]
+            };
+            values.push(bootstrap);
+            let (advantages, _) = gae(&rewards, &values, &dones, gamma, lambda);
+            (actions, logps, rewards, advantages)
+        }
+
+        #[test]
+        fn single_lane_collect_is_bit_for_bit_scalar_compatible() {
+            // The pre-VecEnv scalar loop and a 1-lane vectorized collect,
+            // from identical seeds, must produce identical trajectories —
+            // actions, log-probs, rewards AND advantages.
+            let mut setup_rng = StdRng::seed_from_u64(40);
+            let mut venv = venv(1, 123);
+            let mut vec_net = net(&venv, &mut setup_rng);
+            let mut rng_a = StdRng::seed_from_u64(7);
+            let batch = collect(&mut venv, &mut vec_net, 256, 0.99, 0.95, &mut rng_a);
+
+            let mut setup_rng = StdRng::seed_from_u64(40);
+            let mut env = CacheGuessingGame::new(EnvConfig::flush_reload_fa4()).unwrap();
+            let mut ref_net = MlpPolicy::new(
+                &MlpConfig::new(env.obs_dim(), env.num_actions()).with_hidden(vec![16]),
+                &mut setup_rng,
+            );
+            let mut rng_b = StdRng::seed_from_u64(7);
+            let (actions, logps, rewards, advantages) =
+                scalar_reference_collect(&mut env, &mut ref_net, 256, 0.99, 0.95, &mut rng_b);
+
+            assert_eq!(batch.actions, actions);
+            assert_eq!(batch.logps, logps);
+            assert_eq!(batch.rewards, rewards, "rewards must match the scalar loop");
+            assert!(
+                batch
+                    .advantages
+                    .iter()
+                    .zip(advantages.iter())
+                    .all(|(a, b)| (a - b).abs() < 1e-7),
+                "advantages must match the scalar loop"
+            );
+            assert_eq!(batch.actions.len(), 256);
+        }
+
+        #[test]
+        fn multi_lane_gae_does_not_leak_across_lanes() {
+            // Recompute GAE per lane from the batch's own rewards/dones and
+            // the value predictions implied by `returns - advantages`, and
+            // demand an exact per-lane match. A cross-lane leak (e.g. one
+            // gae() pass over the whole time-major array) breaks this.
+            let (gamma, lambda) = (0.9f32, 0.8f32);
+            let lanes = 4usize;
+            let mut venv = venv(lanes, 9);
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut net = net(&venv, &mut rng);
+            let batch = collect(&mut venv, &mut net, 64, gamma, lambda, &mut rng);
+            assert_eq!(batch.actions.len(), 64);
+            let t_steps = batch.actions.len() / lanes;
+            for lane in 0..lanes {
+                let idx = |t: usize| t * lanes + lane;
+                let rewards: Vec<f32> = (0..t_steps).map(|t| batch.rewards[idx(t)]).collect();
+                let dones: Vec<bool> = (0..t_steps).map(|t| batch.dones[idx(t)]).collect();
+                let mut values: Vec<f32> = (0..t_steps)
+                    .map(|t| batch.returns[idx(t)] - batch.advantages[idx(t)])
+                    .collect();
+                // Recover the bootstrap: 0 on a terminal tail, else invert
+                // the last GAE step (adv_T = r_T + gamma*boot - v_T).
+                let last = t_steps - 1;
+                let bootstrap = if dones[last] {
+                    0.0
+                } else {
+                    (batch.advantages[idx(last)] - rewards[last] + values[last]) / gamma
+                };
+                values.push(bootstrap);
+                let (adv, ret) = gae(&rewards, &values, &dones, gamma, lambda);
+                for t in 0..t_steps {
+                    assert!(
+                        (adv[t] - batch.advantages[idx(t)]).abs() < 1e-5,
+                        "lane {lane} t {t}: adv {} vs batch {}",
+                        adv[t],
+                        batch.advantages[idx(t)]
+                    );
+                    assert!((ret[t] - batch.returns[idx(t)]).abs() < 1e-5);
+                }
+            }
         }
     }
 }

@@ -1,6 +1,6 @@
 //! The PPO trainer: clipped surrogate, entropy bonus, value loss.
 
-use autocat_gym::Environment;
+use autocat_gym::{Environment, VecEnv};
 use autocat_nn::models::{
     MlpConfig, MlpPolicy, PolicyValueNet, TransformerConfig, TransformerPolicy,
 };
@@ -39,6 +39,9 @@ pub struct PpoConfig {
     pub max_grad_norm: f32,
     /// Environment steps per reporting "epoch" (the paper: 3000).
     pub steps_per_epoch: usize,
+    /// Parallel environment lanes collected per rollout (`VecEnv` width).
+    /// 1 reproduces the scalar single-env path bit-for-bit.
+    pub num_lanes: usize,
 }
 
 impl Default for PpoConfig {
@@ -55,6 +58,7 @@ impl Default for PpoConfig {
             minibatch: 256,
             max_grad_norm: 0.5,
             steps_per_epoch: 3000,
+            num_lanes: 1,
         }
     }
 }
@@ -62,7 +66,18 @@ impl Default for PpoConfig {
 impl PpoConfig {
     /// A smaller, faster configuration for tiny environments and tests.
     pub fn fast() -> Self {
-        Self { horizon: 512, minibatch: 128, ..Self::default() }
+        Self {
+            horizon: 512,
+            minibatch: 128,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the number of parallel rollout lanes.
+    #[must_use]
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.num_lanes = lanes.max(1);
+        self
     }
 
     /// The recipe validated on the paper's small cache configurations:
@@ -103,23 +118,33 @@ pub enum Backbone {
 impl Backbone {
     /// The default MLP backbone (2×128, tanh).
     pub fn default_mlp() -> Self {
-        Backbone::Mlp { hidden: vec![128, 128] }
+        Backbone::Mlp {
+            hidden: vec![128, 128],
+        }
     }
 
     /// A small Transformer backbone (CPU-friendly version of the paper's
     /// 128-dim 8-head encoder).
     pub fn small_transformer() -> Self {
-        Backbone::Transformer { d_model: 32, num_heads: 4, ff_dim: 64 }
+        Backbone::Transformer {
+            d_model: 32,
+            num_heads: 4,
+            ff_dim: 64,
+        }
     }
 
     fn build(&self, env: &impl Environment, rng: &mut StdRng) -> Box<dyn PolicyValueNet> {
         match self {
             Backbone::Mlp { hidden } => {
-                let cfg = MlpConfig::new(env.obs_dim(), env.num_actions())
-                    .with_hidden(hidden.clone());
+                let cfg =
+                    MlpConfig::new(env.obs_dim(), env.num_actions()).with_hidden(hidden.clone());
                 Box::new(MlpPolicy::new(&cfg, rng))
             }
-            Backbone::Transformer { d_model, num_heads, ff_dim } => {
+            Backbone::Transformer {
+                d_model,
+                num_heads,
+                ff_dim,
+            } => {
                 let cfg = TransformerConfig::new(env.window(), env.token_dim(), env.num_actions())
                     .with_dims(*d_model, *num_heads, *ff_dim);
                 Box::new(TransformerPolicy::new(&cfg, rng))
@@ -160,9 +185,11 @@ pub struct TrainResult {
     pub final_accuracy: f32,
 }
 
-/// The PPO trainer owning an environment and a policy/value network.
+/// The PPO trainer owning a [`VecEnv`] of environment lanes and a
+/// policy/value network. Rollouts run one batched forward per step across
+/// all lanes; `PpoConfig::num_lanes` controls the width.
 pub struct Trainer<E: Environment> {
-    env: E,
+    venv: VecEnv<E>,
     net: Box<dyn PolicyValueNet>,
     adam: Adam,
     config: PpoConfig,
@@ -172,23 +199,65 @@ pub struct Trainer<E: Environment> {
     recent_cap: usize,
 }
 
-impl<E: Environment> Trainer<E> {
-    /// Creates a trainer for `env` with a fresh network.
+impl<E: Environment + Clone + Send> Trainer<E> {
+    /// Creates a trainer for `env` with a fresh network, cloning the
+    /// environment into `config.num_lanes` VecEnv lanes.
     pub fn new(env: E, backbone: Backbone, config: PpoConfig, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let net = backbone.build(&env, &mut rng);
         let adam = Adam::new(config.lr);
-        Self { env, net, adam, config, rng, total_steps: 0, recent: VecDeque::new(), recent_cap: 100 }
+        let venv = VecEnv::new(config.num_lanes.max(1), env, seed)
+            .expect("at least one lane after clamping");
+        Self {
+            venv,
+            net,
+            adam,
+            config,
+            rng,
+            total_steps: 0,
+            recent: VecDeque::new(),
+            recent_cap: 100,
+        }
+    }
+}
+
+impl<E: Environment + Send> Trainer<E> {
+    /// Creates a trainer over an existing [`VecEnv`] (heterogeneous lanes).
+    pub fn from_vecenv(venv: VecEnv<E>, backbone: Backbone, config: PpoConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = backbone.build(venv.lane(0), &mut rng);
+        let adam = Adam::new(config.lr);
+        Self {
+            venv,
+            net,
+            adam,
+            config,
+            rng,
+            total_steps: 0,
+            recent: VecDeque::new(),
+            recent_cap: 100,
+        }
     }
 
-    /// The environment (e.g. to inspect its action space).
+    /// The first lane's environment (e.g. to inspect its action space).
     pub fn env(&self) -> &E {
-        &self.env
+        self.venv.lane(0)
     }
 
-    /// Mutable environment access (e.g. to force secrets).
+    /// Mutable access to the first lane's environment (e.g. to force
+    /// secrets for evaluation between rollouts).
     pub fn env_mut(&mut self) -> &mut E {
-        &mut self.env
+        self.venv.lane_mut(0)
+    }
+
+    /// The vectorized environment driving rollouts.
+    pub fn vecenv(&self) -> &VecEnv<E> {
+        &self.venv
+    }
+
+    /// Number of parallel rollout lanes.
+    pub fn num_lanes(&self) -> usize {
+        self.venv.num_lanes()
     }
 
     /// The policy network.
@@ -234,7 +303,7 @@ impl<E: Environment> Trainer<E> {
     pub fn train_update(&mut self) -> UpdateStats {
         let cfg = self.config;
         let batch = collect(
-            &mut self.env,
+            &mut self.venv,
             self.net.as_mut(),
             cfg.horizon,
             cfg.gamma,
@@ -264,10 +333,12 @@ impl<E: Environment> Trainer<E> {
             .sum::<f32>()
             / n as f32;
         let std = var.sqrt().max(1e-6);
-        let advantages: Vec<f32> =
-            batch.advantages.iter().map(|a| (a - mean) / std).collect();
+        let advantages: Vec<f32> = batch.advantages.iter().map(|a| (a - mean) / std).collect();
 
-        let mut stats = UpdateStats { episodes: batch.episodes, ..UpdateStats::default() };
+        let mut stats = UpdateStats {
+            episodes: batch.episodes,
+            ..UpdateStats::default()
+        };
         let mut loss_samples = 0usize;
         let mut indices: Vec<usize> = (0..n).collect();
         for _ in 0..cfg.epochs_per_update {
@@ -317,9 +388,8 @@ impl<E: Environment> Trainer<E> {
                     let dvalue = vcoef * verr * inv;
                     (dlogits, dvalue)
                 });
-                stats.grad_norm = clip_global_grad_norm(cfg.max_grad_norm, |f| {
-                    self.net.visit_params(f)
-                });
+                stats.grad_norm =
+                    clip_global_grad_norm(cfg.max_grad_norm, |f| self.net.visit_params(f));
                 self.adam.begin_step();
                 let adam = &self.adam;
                 self.net.visit_params(&mut |p| adam.update_param(p));
@@ -363,9 +433,10 @@ impl<E: Environment> Trainer<E> {
         }
     }
 
-    /// Splits the trainer into the pieces evaluation needs.
+    /// Splits the trainer into the pieces evaluation needs: the first
+    /// lane's environment, the network, and the trainer RNG.
     pub fn parts_mut(&mut self) -> (&mut E, &mut dyn PolicyValueNet, &mut StdRng) {
-        (&mut self.env, self.net.as_mut(), &mut self.rng)
+        (self.venv.lane_mut(0), self.net.as_mut(), &mut self.rng)
     }
 }
 
@@ -380,12 +451,19 @@ mod tests {
         let mut t = Trainer::new(
             env,
             Backbone::Mlp { hidden: vec![32] },
-            PpoConfig { horizon: 256, minibatch: 64, ..PpoConfig::default() },
+            PpoConfig {
+                horizon: 256,
+                minibatch: 64,
+                ..PpoConfig::default()
+            },
             0,
         );
         let stats = t.train_update();
         assert!(stats.episodes.count > 0);
-        assert!(stats.entropy > 0.0, "entropy must be positive early in training");
+        assert!(
+            stats.entropy > 0.0,
+            "entropy must be positive early in training"
+        );
         assert_eq!(t.total_steps(), 256);
     }
 
@@ -394,14 +472,14 @@ mod tests {
         // Sanity: on the flush+reload config a short training run must beat
         // the untrained policy's average return. (Full convergence is
         // exercised by the benchmark harness; this is a smoke test.)
-        let env = CacheGuessingGame::new(
-            EnvConfig::flush_reload_fa4().with_window(8),
-        )
-        .unwrap();
+        let env = CacheGuessingGame::new(EnvConfig::flush_reload_fa4().with_window(8)).unwrap();
         let mut t = Trainer::new(
             env,
             Backbone::Mlp { hidden: vec![32] },
-            PpoConfig { horizon: 512, ..PpoConfig::small_env() },
+            PpoConfig {
+                horizon: 512,
+                ..PpoConfig::small_env()
+            },
             1,
         );
         let first = t.train_update().episodes.avg_return();
@@ -417,18 +495,89 @@ mod tests {
 
     #[test]
     fn transformer_backbone_trains() {
-        let env = CacheGuessingGame::new(
-            EnvConfig::flush_reload_fa4().with_window(8),
-        )
-        .unwrap();
+        let env = CacheGuessingGame::new(EnvConfig::flush_reload_fa4().with_window(8)).unwrap();
         let mut t = Trainer::new(
             env,
-            Backbone::Transformer { d_model: 16, num_heads: 2, ff_dim: 32 },
-            PpoConfig { horizon: 128, minibatch: 64, epochs_per_update: 2, ..PpoConfig::default() },
+            Backbone::Transformer {
+                d_model: 16,
+                num_heads: 2,
+                ff_dim: 32,
+            },
+            PpoConfig {
+                horizon: 128,
+                minibatch: 64,
+                epochs_per_update: 2,
+                ..PpoConfig::default()
+            },
             2,
         );
         let stats = t.train_update();
         assert!(stats.episodes.count > 0);
+    }
+
+    #[test]
+    fn multi_lane_update_collects_across_lanes() {
+        let env = CacheGuessingGame::new(EnvConfig::flush_reload_fa4()).unwrap();
+        let mut t = Trainer::new(
+            env,
+            Backbone::Mlp { hidden: vec![32] },
+            PpoConfig {
+                horizon: 256,
+                minibatch: 64,
+                num_lanes: 8,
+                ..PpoConfig::default()
+            },
+            0,
+        );
+        assert_eq!(t.num_lanes(), 8);
+        let stats = t.train_update();
+        assert!(stats.episodes.count > 0);
+        assert_eq!(t.total_steps(), 256, "256 divides evenly across 8 lanes");
+        assert!(stats.entropy > 0.0);
+    }
+
+    #[test]
+    fn multi_lane_training_improves_returns() {
+        // The vectorized path must actually learn, not just run.
+        let env = CacheGuessingGame::new(EnvConfig::flush_reload_fa4().with_window(8)).unwrap();
+        let mut t = Trainer::new(
+            env,
+            Backbone::Mlp { hidden: vec![32] },
+            PpoConfig {
+                horizon: 512,
+                num_lanes: 4,
+                ..PpoConfig::small_env()
+            },
+            1,
+        );
+        let first = t.train_update().episodes.avg_return();
+        for _ in 0..25 {
+            t.train_update();
+        }
+        let last = t.avg_return();
+        assert!(
+            last > first + 0.2,
+            "vectorized training must improve returns: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn single_lane_trainer_matches_default_config() {
+        // num_lanes: 1 (the default) and an explicit with_lanes(1) must
+        // produce identical training traces for identical seeds.
+        let mk = |cfg: PpoConfig| {
+            let env = CacheGuessingGame::new(EnvConfig::flush_reload_fa4()).unwrap();
+            let mut t = Trainer::new(env, Backbone::Mlp { hidden: vec![16] }, cfg, 5);
+            let s = t.train_update();
+            (s.policy_loss, s.value_loss, s.entropy, s.episodes)
+        };
+        let base = PpoConfig {
+            horizon: 128,
+            minibatch: 64,
+            epochs_per_update: 2,
+            ..PpoConfig::default()
+        };
+        assert_eq!(mk(base), mk(base.with_lanes(1)));
     }
 
     #[test]
@@ -437,7 +586,11 @@ mod tests {
         let mut t = Trainer::new(
             env,
             Backbone::Mlp { hidden: vec![16] },
-            PpoConfig { horizon: 300, steps_per_epoch: 3000, ..PpoConfig::default() },
+            PpoConfig {
+                horizon: 300,
+                steps_per_epoch: 3000,
+                ..PpoConfig::default()
+            },
             3,
         );
         t.train_update();

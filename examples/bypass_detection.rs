@@ -14,11 +14,14 @@ use autocat::Explorer;
 
 fn main() {
     println!("Exploring a 4-way LRU cache WITH miss-based detection enabled...");
-    let cfg = EnvConfig::replacement_study(PolicyKind::Lru)
-        .with_detection(DetectionMode::VictimMiss);
+    let cfg =
+        EnvConfig::replacement_study(PolicyKind::Lru).with_detection(DetectionMode::VictimMiss);
     let report = Explorer::new(cfg).seed(3).max_steps(500_000).run().unwrap();
     println!("sequence : {}", report.sequence_notation);
-    println!("category : {} (LRU-state attacks never make the victim miss)", report.category);
+    println!(
+        "category : {} (LRU-state attacks never make the victim miss)",
+        report.category
+    );
     println!("accuracy : {:.3}", report.accuracy);
 
     println!("\nThe generalized attack built from such sequences is StealthyStreamline:");

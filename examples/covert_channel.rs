@@ -12,7 +12,10 @@ fn main() {
     let message: Vec<u64> = vec![2, 0, 3, 1, 1, 2, 3, 0, 2, 2];
     let decoded = ss.transmit(&message, || false);
     println!("sent    : {message:?}");
-    println!("decoded : {:?}", decoded.iter().map(|d| d.unwrap()).collect::<Vec<_>>());
+    println!(
+        "decoded : {:?}",
+        decoded.iter().map(|d| d.unwrap()).collect::<Vec<_>>()
+    );
 
     // Bit rates on the Table X machines.
     println!("\nmachine            LRU (Mbps)  SS (Mbps)  improvement");

@@ -19,12 +19,19 @@ fn main() {
         profile.policy_label()
     );
     let (s, e) = profile.attacker_range();
-    let mut cfg = EnvConfig::new(CacheConfig::fully_associative(profile.ways()), (s, e), (0, 0));
+    let mut cfg = EnvConfig::new(
+        CacheConfig::fully_associative(profile.ways()),
+        (s, e),
+        (0, 0),
+    );
     cfg.cache = CacheSpec::Hardware(profile);
     cfg.victim_no_access_enable = true;
     cfg.rewards.step = -0.005; // the paper's hardware setting
     let report = Explorer::new(cfg).seed(4).max_steps(400_000).run().unwrap();
     println!("sequence : {}", report.sequence_notation);
     println!("category : {}", report.category);
-    println!("accuracy : {:.3} (noise keeps it slightly below 1.0, as in Table III)", report.accuracy);
+    println!(
+        "accuracy : {:.3} (noise keeps it slightly below 1.0, as in Table III)",
+        report.accuracy
+    );
 }

@@ -16,7 +16,10 @@ fn main() {
             .run()
             .expect("valid configuration");
         println!("sequence : {}", report.sequence_notation);
-        println!("category : {}   accuracy: {:.3}", report.category, report.accuracy);
+        println!(
+            "category : {}   accuracy: {:.3}",
+            report.category, report.accuracy
+        );
         match report.epochs_to_converge {
             Some(e) => println!("epochs   : {e:.1} (paper: LRU 26.0, PLRU 15.7, RRIP 70.7)"),
             None => println!("epochs   : did not converge in budget"),

@@ -34,20 +34,29 @@ fn rl_discovers_flush_reload_on_config6() {
         .return_threshold(0.85)
         .run()
         .expect("valid config");
-    assert!(report.converged, "PPO must converge on config 6 within 250k steps");
+    assert!(
+        report.converged,
+        "PPO must converge on config 6 within 250k steps"
+    );
     assert!(
         report.accuracy > 0.95,
         "converged policy must guess accurately, got {}",
         report.accuracy
     );
     assert!(
-        matches!(report.category, AttackCategory::FlushReload | AttackCategory::EvictReload | AttackCategory::LruBased),
+        matches!(
+            report.category,
+            AttackCategory::FlushReload | AttackCategory::EvictReload | AttackCategory::LruBased
+        ),
         "expected a shared-memory or LRU-state attack, got {} ({})",
         report.category,
         report.sequence_notation
     );
     // The sequence must trigger the victim and end with a guess.
-    assert!(report.sequence.iter().any(|a| matches!(a, Action::TriggerVictim)));
+    assert!(report
+        .sequence
+        .iter()
+        .any(|a| matches!(a, Action::TriggerVictim)));
     assert!(matches!(
         report.sequence.last(),
         Some(Action::Guess(_)) | Some(Action::GuessNoAccess)
@@ -80,19 +89,20 @@ fn miss_detection_blocks_prime_probe_but_not_lru_state() {
     let mut pp = TextbookPrimeProbe::new(&cfg, 4);
     env.reset(&mut r);
     pp.begin();
-    let mut detected = false;
     let mut last = None;
-    loop {
+    let detected = loop {
         let action = pp.decide(last);
         let idx = env.action_space().encode(action).unwrap();
         let res = env.step(idx, &mut r);
         last = env.history().last().map(|h| h.latency);
         if res.done {
-            detected = res.info.detected;
-            break;
+            break res.info.detected;
         }
-    }
-    assert!(detected, "textbook prime+probe must trip miss-based detection");
+    };
+    assert!(
+        detected,
+        "textbook prime+probe must trip miss-based detection"
+    );
 
     // StealthyStreamline's victim never misses.
     let ss = StealthyStreamline::new(8, PolicyKind::Lru, 2);
@@ -108,7 +118,11 @@ fn autocorr_detector_flags_textbook_pp_episode() {
     assert!(stats.accuracy() > 0.9);
     let mut det = AutocorrDetector::default();
     det.observe_all(env.episode_events().iter());
-    assert!(det.is_attack(), "CC-Hunter must flag a textbook PP train (C = {})", det.max_autocorrelation());
+    assert!(
+        det.is_attack(),
+        "CC-Hunter must flag a textbook PP train (C = {})",
+        det.max_autocorrelation()
+    );
 }
 
 #[test]
@@ -122,8 +136,11 @@ fn cyclone_features_separate_attack_from_benign() {
     let _ = run_scripted_multi(&mut env, &mut pp, &mut r);
     let attack_cycles: f32 = features.extract(env.episode_events()).iter().sum();
     // Benign trace of the same cache.
-    let benign_trace =
-        generate_trace(&CacheConfig::direct_mapped(4), &BenignWorkload::default(), &mut r);
+    let benign_trace = generate_trace(
+        &CacheConfig::direct_mapped(4),
+        &BenignWorkload::default(),
+        &mut r,
+    );
     let benign_cycles: f32 = features.extract(&benign_trace).iter().sum();
     assert!(
         attack_cycles > 3.0 * benign_cycles.max(1.0),
@@ -136,7 +153,11 @@ fn covert_channel_transmits_through_the_cache_model() {
     let ss = StealthyStreamline::new(12, PolicyKind::Lru, 2);
     let msg: Vec<u64> = (0..40).map(|i| (i * 7) % 4).collect();
     let decoded = ss.transmit(&msg, || false);
-    let ok = msg.iter().zip(decoded.iter()).filter(|(m, d)| **d == Some(**m)).count();
+    let ok = msg
+        .iter()
+        .zip(decoded.iter())
+        .filter(|(m, d)| **d == Some(**m))
+        .count();
     assert_eq!(ok, msg.len(), "noiseless 12-way channel must be perfect");
 }
 
@@ -161,11 +182,19 @@ fn trainer_runs_on_multi_guess_env() {
     let mut t = Trainer::new(
         env,
         Backbone::Mlp { hidden: vec![32] },
-        PpoConfig { horizon: 320, minibatch: 64, epochs_per_update: 2, ..PpoConfig::default() },
+        PpoConfig {
+            horizon: 320,
+            minibatch: 64,
+            epochs_per_update: 2,
+            ..PpoConfig::default()
+        },
         7,
     );
     let stats = t.train_update();
-    assert!(stats.episodes.count >= 2, "two 160-step episodes fit in 320 steps");
+    assert!(
+        stats.episodes.count >= 2,
+        "two 160-step episodes fit in 320 steps"
+    );
 }
 
 #[test]
@@ -177,8 +206,14 @@ fn miss_detector_consumes_env_events() {
     env.reset(&mut r);
     let mut det = MissCountDetector::strict();
     // Prime set 0 so the victim's access conflicts, then trigger.
-    env.step(env.action_space().encode(Action::Access(4)).unwrap(), &mut r);
-    env.step(env.action_space().encode(Action::TriggerVictim).unwrap(), &mut r);
+    env.step(
+        env.action_space().encode(Action::Access(4)).unwrap(),
+        &mut r,
+    );
+    env.step(
+        env.action_space().encode(Action::TriggerVictim).unwrap(),
+        &mut r,
+    );
     det.observe_all(env.drain_events().iter());
     assert!(det.is_attack());
 }

@@ -1,0 +1,232 @@
+//! Offline stand-in for `criterion`, implementing the API subset the
+//! workspace benches use: [`Criterion::benchmark_group`], group
+//! configuration (`measurement_time`, `sample_size`), [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: a short warm-up, then timed batches until the group's
+//! measurement time is spent, reporting the mean wall-clock time per
+//! iteration. No statistics, plots, or saved baselines — just honest means,
+//! which is enough to compare configurations on one machine.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; the shim times routines exactly the
+/// same way for every variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    measurement_time: Duration,
+    /// (iterations, total elapsed) accumulated by the timing loops.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly for the configured measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: a fifth of the window, at most 200 ms.
+        let warmup = (self.measurement_time / 5).min(Duration::from_millis(200));
+        let start = Instant::now();
+        while start.elapsed() < warmup {
+            black_box(routine());
+        }
+        let mut iters = 0u64;
+        let timer = Instant::now();
+        while timer.elapsed() < self.measurement_time {
+            black_box(routine());
+            iters += 1;
+        }
+        self.result = Some((iters.max(1), timer.elapsed()));
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warmup_end =
+            Instant::now() + (self.measurement_time / 5).min(Duration::from_millis(200));
+        while Instant::now() < warmup_end {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut iters = 0u64;
+        let mut spent = Duration::ZERO;
+        while spent < self.measurement_time {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            spent += t.elapsed();
+            iters += 1;
+        }
+        self.result = Some((iters.max(1), spent));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of related benchmarks sharing a measurement budget.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the timed window per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim is time-budgeted, not
+    /// sample-count-budgeted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some((iters, total)) => {
+                let ns = total.as_nanos() as f64 / iters as f64;
+                println!(
+                    "{}/{:<32} time: [{}]  ({} iters)",
+                    self.name,
+                    id,
+                    format_ns(ns),
+                    iters
+                );
+            }
+            None => println!("{}/{id}: no measurement taken", self.name),
+        }
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level handle mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility; the shim has no CLI options.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            measurement_time: Duration::from_secs(1),
+            _criterion: self,
+        }
+    }
+
+    /// Printed summary hook (no-op; results print as they complete).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group runner function calling each target with one
+/// [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_iterations() {
+        let mut b = Bencher {
+            measurement_time: Duration::from_millis(5),
+            result: None,
+        };
+        b.iter(|| 1 + 1);
+        let (iters, total) = b.result.unwrap();
+        assert!(iters > 0);
+        assert!(total >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher {
+            measurement_time: Duration::from_millis(2),
+            result: None,
+        };
+        b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.result.unwrap().0 > 0);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .measurement_time(Duration::from_millis(2))
+            .sample_size(10);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

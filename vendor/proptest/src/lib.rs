@@ -1,0 +1,269 @@
+//! Offline stand-in for `proptest`: random-sampling property testing
+//! without shrinking. Each `proptest!` test body runs against a fixed
+//! number of cases sampled from its strategies with a deterministic seed,
+//! and `prop_assert*` failures report the failing case. Upstream's
+//! shrinking, persistence, and configuration are intentionally absent; the
+//! strategy combinators cover exactly what this workspace's property tests
+//! use (ranges, `Just`, `prop_oneof!`, `prop::collection::vec`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Number of cases sampled per property.
+pub const CASES: u32 = 96;
+
+/// A source of values for property tests (object-safe subset of upstream's
+/// `Strategy`).
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+    /// Samples one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for ::std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for ::std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between strategies of one value type (`prop_oneof!`).
+pub struct OneOf<V> {
+    choices: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> OneOf<V> {
+    /// Creates an empty choice set; see [`OneOf::or`].
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self {
+            choices: Vec::new(),
+        }
+    }
+
+    /// Adds one alternative.
+    #[must_use]
+    pub fn or(mut self, s: impl Strategy<Value = V> + 'static) -> Self {
+        self.choices.push(Box::new(s));
+        self
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut StdRng) -> V {
+        assert!(
+            !self.choices.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        let idx = rng.gen_range(0..self.choices.len());
+        self.choices[idx].sample(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Inclusive-exclusive length bounds for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<::std::ops::Range<usize>> for SizeRange {
+        fn from(r: ::std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// `Vec` strategy produced by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec` works after a prelude glob.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The everything-you-need import, like upstream's.
+pub mod prelude {
+    pub use crate::{
+        collection, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, OneOf, Strategy,
+    };
+    pub use rand::{Rng, SeedableRng};
+}
+
+/// Builds a [`OneOf`] over the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new()$(.or($strategy))+
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?} == {:?}` ({} == {})",
+                l,
+                r,
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`CASES`] sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut __proptest_rng =
+                <::rand::rngs::StdRng as ::rand::SeedableRng>::seed_from_u64(
+                    0x70_72_6f_70 ^ stringify!($name).len() as u64,
+                );
+            for __proptest_case in 0..$crate::CASES {
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut __proptest_rng);)*
+                let __proptest_result = (|| -> ::std::result::Result<(), String> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(msg) = __proptest_result {
+                    panic!(
+                        "property {} failed on case {}: {}",
+                        stringify!($name), __proptest_case, msg
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_small() -> impl Strategy<Value = u8> {
+        prop_oneof![Just(1u8), Just(2u8), 5u8..=7]
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, f in -1.0f32..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f), "f = {f}");
+        }
+
+        #[test]
+        fn vec_respects_size(v in collection::vec(0u64..4, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for e in &v {
+                prop_assert!(*e < 4);
+            }
+        }
+
+        #[test]
+        fn oneof_only_yields_choices(x in arb_small()) {
+            prop_assert!(x == 1 || x == 2 || (5..=7).contains(&x));
+        }
+
+        #[test]
+        fn exact_vec_size(v in prop::collection::vec(0u8..=1, 12)) {
+            prop_assert_eq!(v.len(), 12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics_with_case() {
+        proptest! {
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(x > 100, "x = {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,240 @@
+//! Offline stand-in for `rayon`, providing the subset this workspace uses:
+//! [`scope`] with [`Scope::spawn`], [`join`], and [`current_num_threads`].
+//!
+//! Implementation: a lazily-started persistent worker pool (one worker per
+//! available core beyond the first). `scope` tracks outstanding tasks with a
+//! latch and blocks until all complete, which is what makes handing
+//! non-`'static` borrows to the workers sound: no task can outlive the
+//! stack frame that owns its borrows. On single-core machines (or with
+//! `RAYON_NUM_THREADS=1`) tasks run inline on the caller's thread, so the
+//! scheduling overhead is zero where parallelism cannot help anyway.
+
+use std::marker::PhantomData;
+use std::mem;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    senders: Vec<Sender<Job>>,
+    next: Mutex<usize>,
+}
+
+fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+thread_local! {
+    /// Set inside pool workers: tasks that spawn nested scopes must run
+    /// them inline — a worker blocked joining a nested scope can never
+    /// drain its own queue (there is no work stealing in this shim).
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn pool() -> Option<&'static Pool> {
+    static POOL: OnceLock<Option<Pool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = configured_threads().saturating_sub(1);
+        if workers == 0 {
+            return None;
+        }
+        let mut senders = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            thread::Builder::new()
+                .name(format!("shim-rayon-{i}"))
+                .spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+                .expect("failed to spawn worker thread");
+            senders.push(tx);
+        }
+        Some(Pool {
+            senders,
+            next: Mutex::new(0),
+        })
+    })
+    .as_ref()
+}
+
+/// Number of threads tasks may run on (including the calling thread).
+pub fn current_num_threads() -> usize {
+    pool().map(|p| p.senders.len() + 1).unwrap_or(1)
+}
+
+#[derive(Default)]
+struct LatchState {
+    pending: usize,
+    panicked: bool,
+}
+
+/// A scope for spawning borrowed tasks; see [`scope`].
+pub struct Scope<'scope> {
+    latch: Arc<(Mutex<LatchState>, Condvar)>,
+    marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Runs `body` on a pool worker (or inline when no workers exist).
+    /// The closure may borrow from outside the scope; [`scope`] joins all
+    /// spawned tasks before returning, bounding every borrow.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        // No pool, or already on a pool worker (nested scope): run inline.
+        // A worker that blocked on a nested join could deadlock, since its
+        // own queue holds the subtask and nobody steals work.
+        if IN_WORKER.with(|w| w.get()) {
+            body(self);
+            return;
+        }
+        let Some(pool) = pool() else {
+            body(self);
+            return;
+        };
+        {
+            let (lock, _) = &*self.latch;
+            lock.lock().unwrap().pending += 1;
+        }
+        let latch = Arc::clone(&self.latch);
+        let child = Scope {
+            latch: Arc::clone(&self.latch),
+            marker: PhantomData,
+        };
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                body(&child);
+            }));
+            let (lock, cvar) = &*latch;
+            let mut state = lock.lock().unwrap();
+            state.pending -= 1;
+            state.panicked |= outcome.is_err();
+            cvar.notify_all();
+        });
+        // SAFETY: `scope` blocks until `pending` drops to zero before its
+        // stack frame (and thus any 'scope borrow) can be invalidated, and
+        // the latch is updated even when the task panics.
+        let task: Job = unsafe { mem::transmute(task) };
+        let mut next = pool.next.lock().unwrap();
+        let idx = *next;
+        *next = (idx + 1) % pool.senders.len();
+        pool.senders[idx].send(task).expect("worker thread died");
+    }
+}
+
+/// Joins outstanding tasks on drop so borrows stay valid even when the
+/// scope body itself unwinds.
+struct ScopeJoiner {
+    latch: Arc<(Mutex<LatchState>, Condvar)>,
+}
+
+impl ScopeJoiner {
+    fn wait(&self) -> bool {
+        let (lock, cvar) = &*self.latch;
+        let mut state = lock.lock().unwrap();
+        while state.pending > 0 {
+            state = cvar.wait(state).unwrap();
+        }
+        state.panicked
+    }
+}
+
+impl Drop for ScopeJoiner {
+    fn drop(&mut self) {
+        self.wait();
+    }
+}
+
+/// Creates a scope in which borrowed tasks can be spawned; blocks until
+/// every spawned task has finished. Panics in tasks are propagated.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let latch = Arc::new((Mutex::new(LatchState::default()), Condvar::new()));
+    let joiner = ScopeJoiner {
+        latch: Arc::clone(&latch),
+    };
+    let scope = Scope {
+        latch,
+        marker: PhantomData,
+    };
+    let result = op(&scope);
+    if joiner.wait() {
+        panic!("a task spawned in rayon::scope panicked");
+    }
+    result
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb = None;
+    let ra = scope(|s| {
+        s.spawn(|_| rb = Some(b()));
+        a()
+    });
+    (ra, rb.expect("join: second closure did not run"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn scope_allows_disjoint_mutable_borrows() {
+        let mut data = vec![0u64; 8];
+        scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u64 * 10);
+            }
+        });
+        assert_eq!(data, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}

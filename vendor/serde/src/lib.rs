@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`. The workspace derives
+//! `Serialize`/`Deserialize` on config types for forward compatibility but
+//! never serializes through them (no `serde_json`/`bincode` in the tree), so
+//! the traits here are blanket-implemented markers and the derives are
+//! no-ops. Swapping in real serde requires only a manifest change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

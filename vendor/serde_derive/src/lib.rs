@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline `serde`
+//! stand-in. The workspace derives the traits for forward compatibility but
+//! never serializes through them, so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the marker trait has a blanket impl in `serde`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the marker trait has a blanket impl in `serde`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
