@@ -8,6 +8,12 @@ cargo build --release --workspace --all-targets
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> cargo build --examples"
+cargo build --release --examples
+
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

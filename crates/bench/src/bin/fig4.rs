@@ -3,7 +3,7 @@
 
 use autocat::attacks::stealthy::StealthyStreamline;
 use autocat::cache::{Cache, CacheConfig, Domain, PolicyKind};
-use autocat::gym::{DetectionMode, EnvConfig};
+use autocat::gym::{EnvConfig, MonitorSpec};
 use autocat_bench::{print_header, standard_explorer, Budget};
 
 fn main() {
@@ -13,7 +13,7 @@ fn main() {
         "",
     );
     let cfg =
-        EnvConfig::replacement_study(PolicyKind::Lru).with_detection(DetectionMode::VictimMiss);
+        EnvConfig::replacement_study(PolicyKind::Lru).with_detection(MonitorSpec::strict_miss());
     let report = standard_explorer(cfg, 4, budget)
         .return_threshold(0.85)
         .run()

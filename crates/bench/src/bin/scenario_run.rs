@@ -1,0 +1,144 @@
+//! Train and evaluate any named or file-loaded scenario.
+//!
+//! ```text
+//! scenario-run --list                      # all registry names
+//! scenario-run --scenario table4-6         # run a built-in scenario
+//! scenario-run --file my_scenario.toml     # run a scenario file
+//! scenario-run --scenario table4-1 --steps 50000 --seed 3 --lanes 4
+//! scenario-run --scenario table4-16 --export cfg16.toml   # write, don't run
+//! ```
+
+use autocat_scenario::Scenario;
+
+struct Args {
+    scenario: Option<String>,
+    file: Option<String>,
+    steps: Option<u64>,
+    seed: Option<u64>,
+    lanes: Option<usize>,
+    export: Option<String>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenario: None,
+        file: None,
+        steps: None,
+        seed: None,
+        lanes: None,
+        export: None,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--list" => args.list = true,
+            "--scenario" => args.scenario = Some(value("--scenario")?),
+            "--file" => args.file = Some(value("--file")?),
+            "--export" => args.export = Some(value("--export")?),
+            "--steps" => {
+                args.steps = Some(
+                    value("--steps")?
+                        .parse()
+                        .map_err(|_| "--steps expects an integer".to_string())?,
+                )
+            }
+            "--seed" => {
+                args.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|_| "--seed expects an integer".to_string())?,
+                )
+            }
+            "--lanes" => {
+                args.lanes = Some(
+                    value("--lanes")?
+                        .parse()
+                        .map_err(|_| "--lanes expects an integer".to_string())?,
+                )
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scenario-run [--list] [--scenario <name> | --file <path>] \
+         [--steps N] [--seed N] [--lanes N] [--export <path>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+        }
+    };
+
+    if args.list {
+        println!("built-in scenarios:");
+        for s in autocat_scenario::all() {
+            println!("  {:<24} {}", s.name, s.summary);
+        }
+        return;
+    }
+
+    let mut scenario: Scenario = match (&args.scenario, &args.file) {
+        (Some(name), None) => autocat_scenario::lookup(name).unwrap_or_else(|| {
+            eprintln!("unknown scenario `{name}` (try --list)");
+            std::process::exit(2);
+        }),
+        (None, Some(path)) => Scenario::load(path).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
+        _ => usage(),
+    };
+
+    if let Some(steps) = args.steps {
+        scenario.train.max_steps = steps;
+    }
+    if let Some(seed) = args.seed {
+        scenario.train.seed = seed;
+    }
+    if let Some(lanes) = args.lanes {
+        scenario.train.ppo.num_lanes = lanes.max(1);
+    }
+
+    if let Some(path) = &args.export {
+        if let Err(e) = scenario.save(path) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {} to {path}", scenario.name);
+        return;
+    }
+
+    println!(
+        "scenario : {} ({})\nbudget   : {} steps, seed {}, {} lane(s)",
+        scenario.name,
+        scenario.summary,
+        scenario.train.max_steps,
+        scenario.train.seed,
+        scenario.train.ppo.num_lanes
+    );
+    let report = scenario.run().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    println!("sequence : {}", report.sequence_notation);
+    println!("category : {}", report.category);
+    println!("accuracy : {:.3}", report.accuracy);
+    println!("steps    : {}", report.training_steps);
+    match report.epochs_to_converge {
+        Some(epochs) => println!("converged: {epochs:.1} paper-epochs (3000 steps each)"),
+        None => println!("converged: no (raise --steps for a full run)"),
+    }
+}

@@ -1,108 +1,10 @@
 //! Table IV: attacks found across 17 cache / attacker-victim configs.
+//!
+//! The row configurations live in the `autocat-scenario` registry
+//! (`autocat_scenario::table4`); this harness only adds budgets and the
+//! table formatting.
 
-use autocat::cache::{CacheConfig, PrefetcherKind};
-use autocat::gym::{CacheSpec, EnvConfig};
 use autocat_bench::{print_header, standard_explorer, Budget};
-
-/// Builds the environment for a paper Table IV row (1-17).
-fn config_for(no: usize) -> Option<(EnvConfig, &'static str)> {
-    use autocat::cache::TwoLevelConfig;
-    let c = |cache: CacheConfig, att: (u64, u64), vic: (u64, u64)| EnvConfig::new(cache, att, vic);
-    Some(match no {
-        1 => (c(CacheConfig::direct_mapped(4), (4, 7), (0, 3)), "PP"),
-        2 => {
-            let mut e = c(
-                CacheConfig::direct_mapped(4).with_prefetcher(PrefetcherKind::NextLine),
-                (4, 7),
-                (0, 3),
-            );
-            e.window_size = 20;
-            (e, "PP")
-        }
-        3 => {
-            let mut e = c(CacheConfig::direct_mapped(4), (0, 3), (0, 3));
-            e.flush_enable = true;
-            (e, "FR")
-        }
-        4 => (
-            c(CacheConfig::direct_mapped(4), (0, 7), (0, 3)),
-            "ER and PP",
-        ),
-        5 => {
-            let mut e = c(CacheConfig::fully_associative(4), (4, 7), (0, 0));
-            e.victim_no_access_enable = true;
-            (e, "PP, LRU")
-        }
-        6 => (EnvConfig::flush_reload_fa4(), "FR, LRU"),
-        7 => {
-            let mut e = c(CacheConfig::fully_associative(4), (0, 7), (0, 0));
-            e.victim_no_access_enable = true;
-            (e, "ER, PP, LRU")
-        }
-        8 => {
-            let mut e = c(CacheConfig::fully_associative(4), (0, 3), (0, 3));
-            e.flush_enable = true;
-            (e, "FR, LRU")
-        }
-        9 => {
-            let mut e = c(CacheConfig::fully_associative(4), (0, 7), (0, 3));
-            e.flush_enable = true;
-            (e, "FR, LRU")
-        }
-        10 => {
-            let mut e = c(CacheConfig::direct_mapped(8), (0, 7), (0, 7));
-            e.flush_enable = true;
-            e.window_size = 40;
-            (e, "FR")
-        }
-        11 => {
-            let mut e = c(CacheConfig::fully_associative(8), (0, 7), (0, 0));
-            e.flush_enable = true;
-            e.victim_no_access_enable = true;
-            (e, "FR, LRU")
-        }
-        12 => {
-            let mut e = c(CacheConfig::fully_associative(8), (0, 15), (0, 0));
-            e.victim_no_access_enable = true;
-            e.window_size = 48;
-            (e, "ER, PP, LRU")
-        }
-        13 => {
-            let mut e = c(
-                CacheConfig::fully_associative(8).with_prefetcher(PrefetcherKind::NextLine),
-                (0, 15),
-                (0, 0),
-            );
-            e.victim_no_access_enable = true;
-            e.window_size = 48;
-            (e, "ER, PP, LRU")
-        }
-        14 => {
-            let mut e = c(
-                CacheConfig::fully_associative(8).with_prefetcher(PrefetcherKind::Stream),
-                (0, 15),
-                (0, 0),
-            );
-            e.victim_no_access_enable = true;
-            e.window_size = 48;
-            (e, "ER, PP, LRU")
-        }
-        15 => (c(CacheConfig::new(4, 2), (4, 11), (0, 3)), "PP"),
-        16 => {
-            let mut e = c(CacheConfig::new(4, 2), (4, 11), (0, 3));
-            e.cache = CacheSpec::TwoLevel(TwoLevelConfig::paper_config16());
-            e.window_size = 36;
-            (e, "PP")
-        }
-        17 => {
-            let mut e = c(CacheConfig::new(8, 2), (8, 23), (0, 7));
-            e.cache = CacheSpec::TwoLevel(TwoLevelConfig::paper_config17());
-            e.window_size = 64;
-            (e, "PP")
-        }
-        _ => return None,
-    })
-}
 
 fn main() {
     let budget = Budget::from_env();
@@ -122,18 +24,20 @@ fn main() {
         "No | Expected       | Found    | Acc.  | Sequence",
     );
     for no in rows {
-        let Some((cfg, expected)) = config_for(no) else {
+        let Some(scenario) = autocat_scenario::table4(no) else {
             eprintln!("unknown config {no}");
             continue;
         };
-        let report = standard_explorer(cfg, no as u64, budget)
-            .return_threshold(0.8)
+        // The registry's TrainSpec is the source of truth for seed and
+        // convergence threshold; the budget only caps steps and lanes.
+        let report = standard_explorer(scenario.env.clone(), scenario.train.seed, budget)
+            .return_threshold(scenario.train.return_threshold)
             .run()
             .expect("valid table-4 config");
         println!(
             "{:>2} | {:<14} | {:<8} | {:.3} | {}{}",
             no,
-            expected,
+            scenario.summary,
             report.category.to_string(),
             report.accuracy,
             report.sequence_notation,

@@ -1,0 +1,274 @@
+//! The public cache-backend plugin boundary.
+//!
+//! Every memory the guessing-game environments can run against — the
+//! single-level [`Cache`], the inclusive [`TwoLevelCache`] hierarchy, the
+//! simulated blackbox processor in `autocat-gym`, or a third-party model —
+//! implements [`CacheBackend`]. The environments hold a
+//! `Box<dyn CacheBackend>`, so plugging in a new memory never requires
+//! touching the gym crate.
+
+use crate::cache::{Cache, CacheStats};
+use crate::event::{CacheEvent, Domain};
+use crate::hierarchy::TwoLevelCache;
+
+/// An object-safe cache model the guessing-game environments drive.
+///
+/// # The `(observed_hit, true_hit)` contract
+///
+/// [`CacheBackend::access`] returns two hit outcomes that are *not* always
+/// equal:
+///
+/// * `observed_hit` — what the acting program's **timing measurement**
+///   reports. This is the attacker-visible signal: it collapses a
+///   multi-level hierarchy to "hit anywhere vs. memory fetch" and may be
+///   flipped by measurement noise on blackbox hardware backends. It feeds
+///   the agent's latency observation.
+/// * `true_hit` — the **microarchitectural ground truth at the issuing
+///   core's private (innermost) level**, as a defender's performance
+///   counters would record it. Measurement noise never affects it, and an
+///   outer shared level supplying the line does not hide the private-level
+///   miss. It feeds victim-miss bookkeeping and evaluation.
+///
+/// The two diverge on a [`TwoLevelCache`] when an access misses the
+/// issuing core's private L1 but hits the shared L2 (`observed_hit =
+/// true`, `true_hit = false`), and on noisy hardware backends when the
+/// timing misclassifies the outcome. On a single-level [`Cache`] they are
+/// always equal.
+///
+/// # Event stream
+///
+/// [`CacheBackend::drain_events`] returns the [`CacheEvent`] log of the
+/// *monitored* level — the level where cross-domain contention happens
+/// (the cache itself for a single level, the shared L2 for a hierarchy) —
+/// which is what the detectors in `autocat-detect` consume.
+///
+/// The two sensors deliberately sit at different levels on a hierarchy:
+/// `true_hit` is private-L1 ground truth, while event-driven monitors see
+/// shared-L2 outcomes. This loses nothing a defender cares about: the L2
+/// is inclusive, so an attacker can only evict a victim line from the
+/// victim's L1 by evicting it from the L2 (back-invalidation), which makes
+/// the victim's next access miss the L2 too and show up in the event
+/// stream. The only victim misses below the monitor's resolution are
+/// self-inflicted L1 conflicts — benign by construction, so an L2-side
+/// miss-count monitor flags every attacker-caused miss and fewer false
+/// positives.
+pub trait CacheBackend: std::fmt::Debug + Send {
+    /// Performs a demand access by `domain`, returning
+    /// `(observed_hit, true_hit)` per the contract above.
+    fn access(&mut self, addr: u64, domain: Domain) -> (bool, bool);
+
+    /// Flushes `addr` (like `clflush`) on behalf of `domain`. Backends
+    /// without a flush primitive (blackbox hardware) ignore the call;
+    /// their configs set `flush_enable = false`.
+    fn flush(&mut self, addr: u64, domain: Domain);
+
+    /// PL-cache support: fills (if absent) and locks `addr` so it can
+    /// never be evicted, returning whether the lock took effect. Backends
+    /// without locking return `false` (the default).
+    fn lock(&mut self, _addr: u64) -> bool {
+        false
+    }
+
+    /// Clears contents, statistics and pending events, keeping the
+    /// configuration.
+    fn reset(&mut self);
+
+    /// Drains the event log of the monitored level accumulated since the
+    /// last drain (empty for backends that expose no events).
+    fn drain_events(&mut self) -> Vec<CacheEvent>;
+
+    /// Aggregate statistics over every level this backend models.
+    fn stats(&self) -> CacheStats;
+
+    /// Whether the backend's *observed* outcomes are stochastic (e.g.
+    /// timing noise). Environments reseed stochastic backends between
+    /// episodes via [`CacheBackend::reseed`]; deterministic backends are
+    /// left alone so episode RNG streams stay reproducible.
+    fn is_stochastic(&self) -> bool {
+        false
+    }
+
+    /// Reseeds the backend's internal noise stream and clears its state
+    /// (a fresh measurement run). No-op for deterministic backends.
+    fn reseed(&mut self, _seed: u64) {}
+
+    /// Clones the backend behind a fresh box (object-safe `Clone`).
+    fn box_clone(&self) -> Box<dyn CacheBackend>;
+}
+
+impl Clone for Box<dyn CacheBackend> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+impl CacheBackend for Cache {
+    /// Single level: the observed and true outcomes always coincide.
+    fn access(&mut self, addr: u64, domain: Domain) -> (bool, bool) {
+        let hit = Cache::access(self, addr, domain).hit;
+        (hit, hit)
+    }
+
+    fn flush(&mut self, addr: u64, domain: Domain) {
+        Cache::flush(self, addr, domain);
+    }
+
+    fn lock(&mut self, addr: u64) -> bool {
+        self.lock_line(addr, Domain::Victim)
+    }
+
+    fn reset(&mut self) {
+        Cache::reset(self);
+    }
+
+    fn drain_events(&mut self) -> Vec<CacheEvent> {
+        Cache::drain_events(self)
+    }
+
+    fn stats(&self) -> CacheStats {
+        *Cache::stats(self)
+    }
+
+    fn box_clone(&self) -> Box<dyn CacheBackend> {
+        Box::new(self.clone())
+    }
+}
+
+impl TwoLevelCache {
+    /// The core an environment domain runs on: the victim owns core 0, the
+    /// attack program core 1 (or core 0 on a single-core hierarchy).
+    fn core_for(&self, domain: Domain) -> usize {
+        if domain == Domain::Victim {
+            0
+        } else {
+            1.min(self.config().num_cores - 1)
+        }
+    }
+}
+
+impl CacheBackend for TwoLevelCache {
+    /// Hierarchy: `observed_hit` is "hit anywhere" (the binary timing
+    /// signal), `true_hit` is the issuing core's private-L1 outcome — they
+    /// diverge exactly when the L1 misses but the shared L2 hits.
+    fn access(&mut self, addr: u64, domain: Domain) -> (bool, bool) {
+        let core = self.core_for(domain);
+        let result = TwoLevelCache::access(self, core, addr, domain);
+        (result.hit(), result.l1_hit)
+    }
+
+    fn flush(&mut self, addr: u64, domain: Domain) {
+        TwoLevelCache::flush(self, addr, domain);
+    }
+
+    /// Locks in the shared L2 (the contended level).
+    fn lock(&mut self, addr: u64) -> bool {
+        self.l2_mut().lock_line(addr, Domain::Victim)
+    }
+
+    fn reset(&mut self) {
+        TwoLevelCache::reset(self);
+    }
+
+    /// The shared L2's events: the level cross-domain contention goes
+    /// through, and the one the paper's detectors monitor.
+    fn drain_events(&mut self) -> Vec<CacheEvent> {
+        self.l2_mut().drain_events()
+    }
+
+    /// Statistics merged across every L1 and the shared L2.
+    fn stats(&self) -> CacheStats {
+        let mut stats = *self.l2().stats();
+        for core in 0..self.config().num_cores {
+            stats.merge(self.l1(core).stats());
+        }
+        stats
+    }
+
+    fn box_clone(&self) -> Box<dyn CacheBackend> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use crate::hierarchy::TwoLevelConfig;
+
+    #[test]
+    fn single_level_pair_always_agrees() {
+        let mut backend: Box<dyn CacheBackend> =
+            Box::new(Cache::new(CacheConfig::fully_associative(2)));
+        for addr in [0u64, 1, 0, 2, 1, 0] {
+            let (observed, truth) = backend.access(addr, Domain::Attacker);
+            assert_eq!(observed, truth, "single level must never diverge");
+        }
+    }
+
+    /// Regression test for the documented `(observed_hit, true_hit)`
+    /// asymmetry: on a two-level hierarchy, an access that misses the
+    /// issuing core's private L1 but hits the shared L2 must report
+    /// `(true, false)`.
+    #[test]
+    fn two_level_pair_diverges_on_l1_miss_l2_hit() {
+        let mut h = TwoLevelCache::new(TwoLevelConfig::paper_config16());
+        // Victim (core 0) loads addr 0: L1 set 0, L2 set 0.
+        let (obs, truth) = CacheBackend::access(&mut h, 0, Domain::Victim);
+        assert!(!obs && !truth, "cold access misses everywhere");
+        // Victim loads addr 4: same direct-mapped L1 set evicts addr 0 from
+        // the private L1, but the 2-way L2 set keeps both lines.
+        CacheBackend::access(&mut h, 4, Domain::Victim);
+        assert!(h.probe_l2(0), "addr 0 must survive in the shared L2");
+        assert!(!h.probe_l1(0, 0), "addr 0 must be gone from the L1");
+        // Re-access addr 0: timing sees a (L2) hit, the private-level
+        // ground truth is a miss.
+        let (obs, truth) = CacheBackend::access(&mut h, 0, Domain::Victim);
+        assert!(obs, "observed_hit: the shared L2 supplies the line");
+        assert!(!truth, "true_hit: the private L1 missed");
+    }
+
+    #[test]
+    fn two_level_routes_domains_to_cores() {
+        let mut h = TwoLevelCache::new(TwoLevelConfig::paper_config16());
+        CacheBackend::access(&mut h, 3, Domain::Victim);
+        assert!(h.probe_l1(0, 3), "victim runs on core 0");
+        assert!(!h.probe_l1(1, 3));
+        CacheBackend::access(&mut h, 2, Domain::Attacker);
+        assert!(h.probe_l1(1, 2), "attacker runs on core 1");
+        assert!(!h.probe_l1(0, 2));
+    }
+
+    #[test]
+    fn boxed_backend_clones_independently() {
+        let mut a: Box<dyn CacheBackend> = Box::new(Cache::new(CacheConfig::fully_associative(2)));
+        a.access(7, Domain::Attacker);
+        let mut b = a.clone();
+        // The clone sees the same state...
+        let (hit, _) = b.access(7, Domain::Attacker);
+        assert!(hit);
+        // ...but diverges after independent mutation.
+        b.reset();
+        let (hit_a, _) = a.access(7, Domain::Attacker);
+        let (hit_b, _) = b.access(7, Domain::Attacker);
+        assert!(hit_a);
+        assert!(!hit_b);
+    }
+
+    #[test]
+    fn two_level_stats_aggregate_all_levels() {
+        let mut h = TwoLevelCache::new(TwoLevelConfig::paper_config16());
+        CacheBackend::access(&mut h, 0, Domain::Victim); // L1 miss + L2 miss
+        CacheBackend::access(&mut h, 0, Domain::Victim); // L1 hit
+        let stats = CacheBackend::stats(&h);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2, "one L1 miss and one L2 miss");
+        assert_eq!(stats.victim_misses, 2);
+    }
+
+    #[test]
+    fn lock_defaults_are_sane() {
+        let mut c = Cache::new(CacheConfig::fully_associative(2));
+        assert!(CacheBackend::lock(&mut c, 1));
+        assert!(c.is_locked(1));
+    }
+}

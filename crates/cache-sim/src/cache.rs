@@ -40,6 +40,21 @@ pub struct CacheStats {
     pub flushes: u64,
 }
 
+impl CacheStats {
+    /// Adds `other`'s counters into `self`, so multi-lane / multi-level
+    /// runs can aggregate per-lane statistics without field-by-field code
+    /// in callers. Merging a `CacheStats::default()` is the identity.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.victim_misses += other.victim_misses;
+        self.attacker_misses += other.attacker_misses;
+        self.evictions += other.evictions;
+        self.prefetches += other.prefetches;
+        self.flushes += other.flushes;
+    }
+}
+
 #[derive(Clone, Debug)]
 struct CacheSetState {
     tags: Vec<Option<u64>>,
@@ -357,6 +372,45 @@ mod tests {
     use super::*;
     use crate::config::{PolicyKind, PrefetcherKind};
     use crate::mapping::AddressMapping;
+
+    #[test]
+    fn stats_merge_sums_counters_and_preserves_default_identity() {
+        let mut a = CacheStats {
+            hits: 3,
+            misses: 2,
+            victim_misses: 1,
+            attacker_misses: 1,
+            evictions: 4,
+            prefetches: 5,
+            flushes: 6,
+        };
+        let b = CacheStats {
+            hits: 10,
+            misses: 20,
+            victim_misses: 7,
+            attacker_misses: 13,
+            evictions: 1,
+            prefetches: 0,
+            flushes: 2,
+        };
+        let before = a;
+        // Default is the merge identity.
+        a.merge(&CacheStats::default());
+        assert_eq!(a, before);
+        a.merge(&b);
+        assert_eq!(
+            a,
+            CacheStats {
+                hits: 13,
+                misses: 22,
+                victim_misses: 8,
+                attacker_misses: 14,
+                evictions: 5,
+                prefetches: 5,
+                flushes: 8,
+            }
+        );
+    }
 
     #[test]
     fn miss_then_hit() {

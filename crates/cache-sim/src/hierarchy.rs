@@ -144,6 +144,16 @@ impl TwoLevelCache {
         self.l1s[core].probe(addr)
     }
 
+    /// Core `core`'s private L1 (for event/statistics inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn l1(&self, core: usize) -> &Cache {
+        assert!(core < self.config.num_cores, "core {core} out of range");
+        &self.l1s[core]
+    }
+
     /// The shared L2 (for event/statistics inspection).
     pub fn l2(&self) -> &Cache {
         &self.l2

@@ -32,6 +32,7 @@
 //! assert!(cache.access(0, Domain::Attacker).hit);
 //! ```
 
+pub mod backend;
 pub mod cache;
 pub mod config;
 pub mod event;
@@ -40,7 +41,8 @@ pub mod mapping;
 pub mod policy;
 pub mod prefetch;
 
-pub use cache::{AccessResult, Cache};
+pub use backend::CacheBackend;
+pub use cache::{AccessResult, Cache, CacheStats};
 pub use config::{CacheConfig, PolicyKind, PrefetcherKind};
 pub use event::{CacheEvent, Domain};
 pub use hierarchy::{HierarchyResult, TwoLevelCache, TwoLevelConfig};

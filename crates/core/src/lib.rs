@@ -36,6 +36,10 @@
 //! | [`nn`] | matrices, manual-backprop layers, MLP/Transformer, Adam |
 //! | [`ppo`] | the PPO trainer, evaluation, deterministic replay |
 //! | [`attacks`] | textbook attacks, classifier, covert-channel model, search |
+//!
+//! The sibling `autocat-scenario` crate (which layers on top of this
+//! facade) adds the declarative scenario registry and TOML/JSON scenario
+//! files; its `scenario-run` harness drives [`Explorer`] from data.
 
 pub use autocat_attacks as attacks;
 pub use autocat_cache as cache;

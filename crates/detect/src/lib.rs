@@ -14,15 +14,20 @@
 //!   cache misses.
 //!
 //! All detectors consume the [`autocat_cache::CacheEvent`] stream emitted by
-//! the simulator.
+//! the simulator, and all of them implement the object-safe
+//! [`monitor::Monitor`] trait so any detector — or a
+//! [`monitor::CompositeMonitor`] stack of them — can run in-loop as an
+//! episode guard inside the gym environments.
 
 pub mod autocorr;
 pub mod benign;
 pub mod cyclone;
 pub mod misscount;
+pub mod monitor;
 pub mod svm;
 
 pub use autocorr::{AutocorrDetector, EventTrain};
 pub use cyclone::CycloneFeatures;
 pub use misscount::MissCountDetector;
+pub use monitor::{CompositeMonitor, CycloneSvmMonitor, Monitor, MonitorSpec, Verdict};
 pub use svm::LinearSvm;

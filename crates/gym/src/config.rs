@@ -1,6 +1,7 @@
 //! Environment configuration (the paper's Table II).
 
 use autocat_cache::{CacheConfig, PolicyKind, TwoLevelConfig};
+use autocat_detect::MonitorSpec;
 use serde::{Deserialize, Serialize};
 
 use crate::hardware::HardwareProfile;
@@ -16,18 +17,6 @@ pub enum CacheSpec {
     TwoLevel(TwoLevelConfig),
     /// The simulated blackbox processor (Table III substitution).
     Hardware(HardwareProfile),
-}
-
-/// In-episode detection wired into the environment (Table II
-/// `detection_enable`).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub enum DetectionMode {
-    /// No detector.
-    #[default]
-    None,
-    /// µarch-statistics detection: the episode terminates with
-    /// `detection_reward` when the victim's access misses (Sec. V-D).
-    VictimMiss,
 }
 
 /// Reward values (Table II, RL config block).
@@ -74,8 +63,11 @@ pub struct EnvConfig {
     pub flush_enable: bool,
     /// Whether the victim may make no access when triggered ("0/E" configs).
     pub victim_no_access_enable: bool,
-    /// In-episode detection.
-    pub detection: DetectionMode,
+    /// In-episode detection (Table II `detection_enable`): any
+    /// [`autocat_detect::Monitor`] built from this spec guards the episode,
+    /// terminating it with `detection_reward` when the monitor flags an
+    /// event (Sec. V-D).
+    pub detection: MonitorSpec,
     /// History window size; also the episode length limit (paper sets it to
     /// 4–8 × `num_blocks`).
     pub window_size: usize,
@@ -105,7 +97,7 @@ impl EnvConfig {
             victim_addr_e: victim_addrs.1,
             flush_enable: false,
             victim_no_access_enable: false,
-            detection: DetectionMode::None,
+            detection: MonitorSpec::Off,
             window_size: (6 * num_blocks).clamp(8, 64),
             rewards: RewardConfig::default(),
             init_accesses: num_blocks,
@@ -172,8 +164,8 @@ impl EnvConfig {
         self
     }
 
-    /// Sets the detection mode.
-    pub fn with_detection(mut self, detection: DetectionMode) -> Self {
+    /// Sets the in-loop detection monitor.
+    pub fn with_detection(mut self, detection: MonitorSpec) -> Self {
         self.detection = detection;
         self
     }
@@ -221,6 +213,9 @@ impl EnvConfig {
         if self.rewards.wrong_guess > 0.0 || self.rewards.step > 0.0 {
             return Err("wrong_guess/step rewards must be non-positive".into());
         }
+        self.detection
+            .validate()
+            .map_err(|e| format!("detection: {e}"))?;
         if matches!(self.cache, CacheSpec::TwoLevel(_)) && self.flush_enable {
             // Supported, but flush in the hierarchy clears all levels.
         }
@@ -262,6 +257,23 @@ mod tests {
         let mut c = EnvConfig::prime_probe_dm4();
         c.attacker_addr_e = 0;
         c.attacker_addr_s = 5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_monitor_rejected() {
+        // A malformed monitor spec (SVM weights not matching the feature
+        // dimensionality) must fail validation, not panic mid-training.
+        let c = EnvConfig::prime_probe_dm4().with_detection(MonitorSpec::CycloneSvm {
+            w: vec![1.0; 4],
+            b: -1.5,
+            num_intervals: 8,
+            proximity_window: 12,
+        });
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("detection"), "{err}");
+        let c =
+            EnvConfig::prime_probe_dm4().with_detection(MonitorSpec::VictimMiss { threshold: 0 });
         assert!(c.validate().is_err());
     }
 

@@ -1,12 +1,13 @@
 //! The single-secret cache guessing game (paper Sec. III-B).
 
-use autocat_cache::{Cache, CacheEvent, Domain, TwoLevelCache};
+use autocat_cache::{Cache, CacheBackend, CacheEvent, Domain, TwoLevelCache};
+use autocat_detect::Monitor;
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::action::{Action, ActionSpace};
-use crate::config::{CacheSpec, DetectionMode, EnvConfig};
+use crate::config::{CacheSpec, EnvConfig};
 use crate::hardware::SimulatedProcessor;
 use crate::obs::{Latency, ObsEncoder, StepRecord};
 use crate::{Environment, StepInfo, StepResult};
@@ -21,87 +22,15 @@ pub enum Secret {
     NoAccess,
 }
 
-/// Unified cache backend.
-#[derive(Clone, Debug)]
-pub(crate) enum Backend {
-    Single(Cache),
-    TwoLevel(TwoLevelCache),
-    Hardware(SimulatedProcessor),
-}
-
-impl Backend {
-    pub(crate) fn from_spec(spec: &CacheSpec, seed: u64) -> Self {
-        match spec {
-            CacheSpec::Single(cfg) => Backend::Single(Cache::new(cfg.clone())),
-            CacheSpec::TwoLevel(cfg) => Backend::TwoLevel(TwoLevelCache::new(cfg.clone())),
-            CacheSpec::Hardware(profile) => {
-                Backend::Hardware(SimulatedProcessor::new(*profile, seed))
-            }
-        }
-    }
-
-    /// Access on behalf of a domain: attacker runs on core 1 of a
-    /// hierarchy, the victim on core 0. Returns `(observed_hit, true_hit)`.
-    pub(crate) fn access(&mut self, addr: u64, domain: Domain) -> (bool, bool) {
-        match self {
-            Backend::Single(c) => {
-                let hit = c.access(addr, domain).hit;
-                (hit, hit)
-            }
-            Backend::TwoLevel(h) => {
-                let core = if domain == Domain::Victim { 0 } else { 1 };
-                let hit = h.access(core, addr, domain).hit();
-                (hit, hit)
-            }
-            Backend::Hardware(p) => p.access_timed(addr, domain),
-        }
-    }
-
-    pub(crate) fn flush(&mut self, addr: u64, domain: Domain) {
-        match self {
-            Backend::Single(c) => {
-                c.flush(addr, domain);
-            }
-            Backend::TwoLevel(h) => {
-                h.flush(addr, domain);
-            }
-            Backend::Hardware(_) => {
-                // CacheQuery exposes no flush on the targeted set; configs
-                // with hardware backends set `flush_enable = false`.
-            }
-        }
-    }
-
-    pub(crate) fn lock(&mut self, addr: u64) {
-        match self {
-            Backend::Single(c) => {
-                c.lock_line(addr, Domain::Victim);
-            }
-            Backend::TwoLevel(h) => {
-                // Lock in the shared L2 (the contended level).
-                h.l2_mut().lock_line(addr, Domain::Victim);
-            }
-            Backend::Hardware(_) => {}
-        }
-    }
-
-    pub(crate) fn reset(&mut self) {
-        match self {
-            Backend::Single(c) => c.reset(),
-            Backend::TwoLevel(h) => h.reset(),
-            Backend::Hardware(p) => p.reset(),
-        }
-    }
-
-    pub(crate) fn drain_events(&mut self) -> Vec<CacheEvent> {
-        match self {
-            Backend::Single(c) => c.drain_events(),
-            Backend::TwoLevel(h) => h.l2_mut().drain_events(),
-            Backend::Hardware(p) => {
-                let _ = p;
-                Vec::new()
-            }
-        }
+/// Builds the [`CacheBackend`] a [`CacheSpec`] describes.
+///
+/// This is the built-in spec → backend factory; environments accept any
+/// other implementation through [`CacheGuessingGame::with_backend`].
+pub fn backend_from_spec(spec: &CacheSpec, seed: u64) -> Box<dyn CacheBackend> {
+    match spec {
+        CacheSpec::Single(cfg) => Box::new(Cache::new(cfg.clone())),
+        CacheSpec::TwoLevel(cfg) => Box::new(TwoLevelCache::new(cfg.clone())),
+        CacheSpec::Hardware(profile) => Box::new(SimulatedProcessor::new(*profile, seed)),
     }
 }
 
@@ -111,12 +40,20 @@ impl Backend {
 /// the agent takes access/flush/trigger actions observing hit/miss
 /// latencies, and ends the episode with a guess. See [`EnvConfig`] for all
 /// the knobs.
+///
+/// The environment is generic over a boxed [`CacheBackend`]: by default the
+/// backend is built from [`EnvConfig::cache`], and
+/// [`CacheGuessingGame::with_backend`] accepts any third-party memory
+/// model. An optional in-loop [`Monitor`] (built from
+/// [`EnvConfig::detection`]) observes every cache event and terminates the
+/// episode with the detection penalty when it flags one.
 #[derive(Clone, Debug)]
 pub struct CacheGuessingGame {
     config: EnvConfig,
     space: ActionSpace,
     encoder: ObsEncoder,
-    backend: Backend,
+    backend: Box<dyn CacheBackend>,
+    monitor: Option<Box<dyn Monitor>>,
     secret: Secret,
     forced_secret: Option<Secret>,
     history: Vec<StepRecord>,
@@ -124,26 +61,45 @@ pub struct CacheGuessingGame {
     steps: usize,
     done: bool,
     revealed: bool,
-    backend_seed: u64,
 }
 
+/// Alias emphasizing the pluggable-backend view of the environment: a
+/// guessing game over any boxed [`CacheBackend`].
+pub type CacheEnv = CacheGuessingGame;
+
 impl CacheGuessingGame {
-    /// Creates the environment.
+    /// Creates the environment with the backend described by
+    /// [`EnvConfig::cache`].
     ///
     /// # Errors
     ///
     /// Returns an error if the configuration fails
     /// [`EnvConfig::validate`].
     pub fn new(config: EnvConfig) -> Result<Self, String> {
+        let backend = backend_from_spec(&config.cache, 0);
+        Self::with_backend(config, backend)
+    }
+
+    /// Creates the environment over a caller-supplied [`CacheBackend`],
+    /// ignoring [`EnvConfig::cache`] (which then only documents the
+    /// intended memory). This is the third-party plugin entry point: new
+    /// memories run in the guessing game without touching this crate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration fails
+    /// [`EnvConfig::validate`].
+    pub fn with_backend(config: EnvConfig, backend: Box<dyn CacheBackend>) -> Result<Self, String> {
         config.validate()?;
         let space = ActionSpace::from_config(&config);
         let encoder = ObsEncoder::new(config.window_size, space.len());
-        let backend = Backend::from_spec(&config.cache, 0);
+        let monitor = config.detection.build();
         Ok(Self {
             config,
             space,
             encoder,
             backend,
+            monitor,
             secret: Secret::NoAccess,
             forced_secret: None,
             history: Vec::new(),
@@ -151,7 +107,6 @@ impl CacheGuessingGame {
             steps: 0,
             done: true,
             revealed: false,
-            backend_seed: 0,
         })
     }
 
@@ -190,9 +145,21 @@ impl CacheGuessingGame {
     }
 
     /// Drains cache events accumulated since the last drain (detector
-    /// experiments).
+    /// experiments). With an in-loop monitor configured the environment
+    /// consumes events itself after every step, so this returns only
+    /// events emitted since then.
     pub fn drain_events(&mut self) -> Vec<CacheEvent> {
         self.backend.drain_events()
+    }
+
+    /// The cache backend driving this environment.
+    pub fn backend(&self) -> &dyn CacheBackend {
+        self.backend.as_ref()
+    }
+
+    /// The in-loop detection monitor, if one is configured.
+    pub fn monitor(&self) -> Option<&dyn Monitor> {
+        self.monitor.as_deref()
     }
 
     fn sample_secret(&self, rng: &mut StdRng) -> Secret {
@@ -221,7 +188,7 @@ impl CacheGuessingGame {
         }
         if self.config.pl_lock_victim {
             for v in self.config.victim_addr_s..=self.config.victim_addr_e {
-                self.backend.lock(v);
+                let _ = self.backend.lock(v);
             }
         }
         // Detectors must not see the warm-up.
@@ -256,19 +223,12 @@ impl CacheGuessingGame {
             }
             Action::TriggerVictim => {
                 self.victim_triggered = true;
-                let mut detected = false;
                 if let Secret::Addr(s) = self.secret {
-                    let (_, true_hit) = self.backend.access(s, Domain::Victim);
-                    if self.config.detection == DetectionMode::VictimMiss && !true_hit {
-                        detected = true;
-                    }
+                    // Detection happens through the monitor observing the
+                    // resulting cache events (see `step`), not here.
+                    let _ = self.backend.access(s, Domain::Victim);
                 }
-                if detected {
-                    info.detected = true;
-                    (Latency::NotAvailable, rewards.detection, true, info)
-                } else {
-                    (Latency::NotAvailable, rewards.step, false, info)
-                }
+                (Latency::NotAvailable, rewards.step, false, info)
             }
             Action::Guess(y) => {
                 if self.mask() {
@@ -325,12 +285,14 @@ impl Environment for CacheGuessingGame {
     }
 
     fn reset(&mut self, rng: &mut StdRng) -> Vec<f32> {
-        self.backend_seed = self.backend_seed.wrapping_add(1);
-        if matches!(self.config.cache, CacheSpec::Hardware(_)) {
+        if self.backend.is_stochastic() {
             // A fresh measurement run reseeds the noise stream.
-            self.backend = Backend::from_spec(&self.config.cache, rng.gen());
+            self.backend.reseed(rng.gen());
         }
         self.init_cache(rng);
+        if let Some(monitor) = self.monitor.as_mut() {
+            monitor.reset();
+        }
         self.secret = self.sample_secret(rng);
         self.history.clear();
         self.victim_triggered = false;
@@ -345,6 +307,21 @@ impl Environment for CacheGuessingGame {
         let decoded = self.space.decode(action);
         self.steps += 1;
         let (latency, mut reward, mut done, mut info) = self.apply(decoded);
+        if let Some(monitor) = self.monitor.as_mut() {
+            let mut flagged = false;
+            for event in self.backend.drain_events() {
+                flagged |= monitor.observe(&event).is_attack();
+            }
+            if flagged {
+                info.detected = true;
+                if !done {
+                    // The monitor ends the episode with the detection
+                    // penalty (paper Sec. V-D).
+                    reward = self.config.rewards.detection;
+                    done = true;
+                }
+            }
+        }
         self.history.push(StepRecord {
             action,
             latency,
@@ -371,6 +348,7 @@ mod tests {
     use super::*;
     use crate::config::EnvConfig;
     use autocat_cache::PolicyKind;
+    use autocat_detect::MonitorSpec;
     use rand::SeedableRng;
 
     fn rng() -> StdRng {
@@ -528,7 +506,7 @@ mod tests {
     fn victim_miss_detection_terminates() {
         // With detection on and an empty-ish cache, triggering the victim
         // after flushing its line must miss and be detected.
-        let cfg = EnvConfig::flush_reload_fa4().with_detection(DetectionMode::VictimMiss);
+        let cfg = EnvConfig::flush_reload_fa4().with_detection(MonitorSpec::strict_miss());
         let mut env = CacheGuessingGame::new(cfg).unwrap();
         let mut r = rng();
         env.force_secret(Some(Secret::Addr(0)));
@@ -577,6 +555,46 @@ mod tests {
             )
         });
         assert!(!victim_miss, "locked victim line must hit");
+    }
+
+    #[test]
+    fn third_party_backend_plugs_in() {
+        // Boxing a bare `Cache` through the public `CacheBackend` trait
+        // reproduces the spec-built environment exactly — the plugin path
+        // needs no gym-internal types.
+        let cfg = EnvConfig::prime_probe_dm4();
+        let backend: Box<dyn CacheBackend> =
+            Box::new(Cache::new(autocat_cache::CacheConfig::direct_mapped(4)));
+        let mut env = CacheGuessingGame::with_backend(cfg.clone(), backend).unwrap();
+        let mut reference = CacheGuessingGame::new(cfg).unwrap();
+        let (mut r1, mut r2) = (rng(), rng());
+        for _ in 0..3 {
+            assert_eq!(env.reset(&mut r1), reference.reset(&mut r2));
+            for action in 0..4 {
+                assert_eq!(env.step(action, &mut r1), reference.step(action, &mut r2));
+            }
+        }
+    }
+
+    #[test]
+    fn composite_monitor_guards_episode() {
+        // A stacked monitor (CC-Hunter + miss-count) must flag through the
+        // miss-count member when the victim misses.
+        let cfg = EnvConfig::flush_reload_fa4().with_detection(MonitorSpec::Composite(vec![
+            MonitorSpec::cc_hunter(),
+            MonitorSpec::strict_miss(),
+        ]));
+        let mut env = CacheGuessingGame::new(cfg).unwrap();
+        let mut r = rng();
+        env.force_secret(Some(Secret::Addr(0)));
+        env.reset(&mut r);
+        env.step(env.action_space().encode(Action::Flush(0)).unwrap(), &mut r);
+        let res = env.step(
+            env.action_space().encode(Action::TriggerVictim).unwrap(),
+            &mut r,
+        );
+        assert!(res.done);
+        assert!(res.info.detected);
     }
 
     #[test]

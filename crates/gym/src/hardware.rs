@@ -8,7 +8,7 @@
 //! hit/miss interface. The RL agent treats it as a blackbox exactly as it
 //! would the real machine (see DESIGN.md, substitution 1).
 
-use autocat_cache::{Cache, CacheConfig, Domain, PolicyKind};
+use autocat_cache::{Cache, CacheBackend, CacheConfig, CacheEvent, CacheStats, Domain, PolicyKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -204,6 +204,52 @@ impl SimulatedProcessor {
     /// agent never sees it; tests use it to validate the blackbox).
     pub fn inspect_cache(&self) -> &Cache {
         &self.cache
+    }
+}
+
+impl CacheBackend for SimulatedProcessor {
+    /// `observed_hit` is the noisy timing outcome, `true_hit` the hidden
+    /// model's ground truth — the pair diverges at the configured flip
+    /// rate.
+    fn access(&mut self, addr: u64, domain: Domain) -> (bool, bool) {
+        self.access_timed(addr, domain)
+    }
+
+    fn flush(&mut self, _addr: u64, _domain: Domain) {
+        // CacheQuery exposes no flush on the targeted set; configs with
+        // hardware backends set `flush_enable = false`.
+    }
+
+    fn reset(&mut self) {
+        SimulatedProcessor::reset(self);
+    }
+
+    /// The hidden model's event stream: the *attacker* treats the
+    /// processor as a blackbox, but a defender's on-chip counters exist
+    /// even on real hardware, so monitors may consume these events.
+    fn drain_events(&mut self) -> Vec<CacheEvent> {
+        self.cache.drain_events()
+    }
+
+    fn stats(&self) -> CacheStats {
+        *self.cache.stats()
+    }
+
+    /// Measurement noise makes the observed outcomes stochastic, so
+    /// environments reseed between episodes.
+    fn is_stochastic(&self) -> bool {
+        true
+    }
+
+    /// Starts a fresh measurement run: new noise stream, cold set.
+    fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+        self.cache.reset();
+        self.accesses = 0;
+    }
+
+    fn box_clone(&self) -> Box<dyn CacheBackend> {
+        Box::new(self.clone())
     }
 }
 

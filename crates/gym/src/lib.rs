@@ -19,6 +19,12 @@
 //!   stepped together so the policy can run one batched forward per step;
 //!   a single lane is bit-for-bit compatible with the scalar loop.
 //!
+//! The environments are pluggable on both sides of the boundary: any
+//! [`CacheBackend`] implementation can serve as the memory
+//! ([`env::CacheGuessingGame::with_backend`]), and any
+//! [`Monitor`] built from the [`MonitorSpec`] in
+//! [`EnvConfig::detection`] runs in-loop as the episode guard.
+//!
 //! # Example
 //!
 //! ```
@@ -42,8 +48,10 @@ pub mod obs;
 pub mod vecenv;
 
 pub use action::{Action, ActionSpace};
-pub use config::{CacheSpec, DetectionMode, EnvConfig, RewardConfig};
-pub use env::CacheGuessingGame;
+pub use autocat_cache::CacheBackend;
+pub use autocat_detect::{Monitor, MonitorSpec, Verdict};
+pub use config::{CacheSpec, EnvConfig, RewardConfig};
+pub use env::{backend_from_spec, CacheEnv, CacheGuessingGame};
 pub use hardware::{HardwareProfile, NoiseModel, SimulatedProcessor};
 pub use multi::{MultiGuessConfig, MultiGuessEnv};
 pub use obs::ObsEncoder;

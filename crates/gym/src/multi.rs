@@ -11,15 +11,15 @@
 //!   trace (RL-SVM),
 //! * a no-guess penalty when the agent never guessed.
 
-use autocat_cache::CacheEvent;
-use autocat_detect::{CycloneFeatures, EventTrain, LinearSvm};
+use autocat_cache::{CacheBackend, CacheEvent};
+use autocat_detect::{CycloneFeatures, EventTrain, LinearSvm, Monitor};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::VecDeque;
 
 use crate::action::{Action, ActionSpace};
-use crate::config::{CacheSpec, DetectionMode, EnvConfig};
-use crate::env::{Backend, Secret};
+use crate::config::{CacheSpec, EnvConfig};
+use crate::env::{backend_from_spec, Secret};
 use crate::obs::{Latency, ObsEncoder, StepRecord};
 use crate::{Environment, StepInfo, StepResult};
 
@@ -133,7 +133,8 @@ pub struct MultiGuessEnv {
     config: MultiGuessConfig,
     space: ActionSpace,
     encoder: ObsEncoder,
-    backend: Backend,
+    backend: Box<dyn CacheBackend>,
+    monitor: Option<Box<dyn Monitor>>,
     secret: Secret,
     secret_queue: VecDeque<Secret>,
     history: Vec<StepRecord>,
@@ -162,12 +163,14 @@ impl MultiGuessEnv {
         }
         let space = ActionSpace::from_config(&config.base);
         let encoder = ObsEncoder::new(config.base.window_size, space.len());
-        let backend = Backend::from_spec(&config.base.cache, 0);
+        let backend = backend_from_spec(&config.base.cache, 0);
+        let monitor = config.base.detection.build();
         Ok(Self {
             config,
             space,
             encoder,
             backend,
+            monitor,
             secret: Secret::NoAccess,
             secret_queue: VecDeque::new(),
             history: Vec::new(),
@@ -290,6 +293,9 @@ impl Environment for MultiGuessEnv {
             self.backend.access(addr, autocat_cache::Domain::Attacker);
         }
         let _ = self.backend.drain_events();
+        if let Some(monitor) = self.monitor.as_mut() {
+            monitor.reset();
+        }
         self.secret = self.sample_secret(rng);
         self.history.clear();
         self.episode_events.clear();
@@ -327,10 +333,6 @@ impl Environment for MultiGuessEnv {
                     let (_, true_hit) = self.backend.access(s, autocat_cache::Domain::Victim);
                     if !true_hit {
                         self.stats.victim_misses += 1;
-                        if self.config.base.detection == DetectionMode::VictimMiss {
-                            reward += rewards.detection;
-                            info.detected = true;
-                        }
                     }
                 }
                 Latency::NotAvailable
@@ -372,7 +374,18 @@ impl Environment for MultiGuessEnv {
                 Latency::NotAvailable
             }
         };
-        self.episode_events.extend(self.backend.drain_events());
+        let step_events = self.backend.drain_events();
+        if let Some(monitor) = self.monitor.as_mut() {
+            // In-loop detection: fixed-length episodes are penalized per
+            // flagged event instead of terminating early.
+            for event in &step_events {
+                if monitor.observe(event).is_attack() {
+                    reward += rewards.detection;
+                    info.detected = true;
+                }
+            }
+        }
+        self.episode_events.extend(step_events);
         self.history.push(StepRecord {
             action,
             latency,
@@ -538,6 +551,36 @@ mod tests {
             env.stats().svm_detected,
             "textbook PP must trip the toy SVM"
         );
+    }
+
+    #[test]
+    fn in_loop_misscount_penalizes_without_terminating() {
+        use autocat_detect::MonitorSpec;
+        let mut cfg = MultiGuessConfig::fig3_baseline();
+        cfg.base.detection = MonitorSpec::strict_miss();
+        cfg.episode_len = 8;
+        let mut env = MultiGuessEnv::new(cfg).unwrap();
+        let mut r = rng();
+        env.queue_secrets([Secret::Addr(0)]);
+        env.reset(&mut r);
+        // Evict the victim's line (addr 4 shares set 0), then trigger: the
+        // victim misses, the in-loop monitor adds the detection penalty,
+        // and the fixed-length episode continues.
+        env.step(
+            env.action_space().encode(Action::Access(4)).unwrap(),
+            &mut r,
+        );
+        let res = env.step(
+            env.action_space().encode(Action::TriggerVictim).unwrap(),
+            &mut r,
+        );
+        assert!(res.info.detected, "victim miss must be flagged in-loop");
+        assert!(
+            res.reward <= env.config().base.rewards.detection,
+            "reward {} must include the detection penalty",
+            res.reward
+        );
+        assert!(!res.done, "fixed-length episodes are penalized, not cut");
     }
 
     #[test]

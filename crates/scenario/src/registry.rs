@@ -1,0 +1,302 @@
+//! The built-in scenario registry: the paper's Table IV configurations
+//! 1–17, the Sec. V-D defense scenarios, the Table V replacement-policy
+//! case studies and the Table III hardware profiles.
+
+use crate::encode::profile_slug;
+use crate::Scenario;
+use autocat_cache::{CacheConfig, PolicyKind, PrefetcherKind, TwoLevelConfig};
+use autocat_detect::MonitorSpec;
+use autocat_gym::{CacheSpec, EnvConfig, HardwareProfile};
+
+/// The paper's Table IV row `no` (1–17): cache geometry, attacker/victim
+/// address ranges and the attack the paper's agent found there.
+///
+/// Returns `None` outside 1–17.
+pub fn table4(no: usize) -> Option<Scenario> {
+    let c = |cache: CacheConfig, att: (u64, u64), vic: (u64, u64)| EnvConfig::new(cache, att, vic);
+    let (env, expected) = match no {
+        1 => (c(CacheConfig::direct_mapped(4), (4, 7), (0, 3)), "PP"),
+        2 => {
+            let mut e = c(
+                CacheConfig::direct_mapped(4).with_prefetcher(PrefetcherKind::NextLine),
+                (4, 7),
+                (0, 3),
+            );
+            e.window_size = 20;
+            (e, "PP")
+        }
+        3 => {
+            let mut e = c(CacheConfig::direct_mapped(4), (0, 3), (0, 3));
+            e.flush_enable = true;
+            (e, "FR")
+        }
+        4 => (
+            c(CacheConfig::direct_mapped(4), (0, 7), (0, 3)),
+            "ER and PP",
+        ),
+        5 => {
+            let mut e = c(CacheConfig::fully_associative(4), (4, 7), (0, 0));
+            e.victim_no_access_enable = true;
+            (e, "PP, LRU")
+        }
+        6 => (EnvConfig::flush_reload_fa4(), "FR, LRU"),
+        7 => {
+            let mut e = c(CacheConfig::fully_associative(4), (0, 7), (0, 0));
+            e.victim_no_access_enable = true;
+            (e, "ER, PP, LRU")
+        }
+        8 => {
+            let mut e = c(CacheConfig::fully_associative(4), (0, 3), (0, 3));
+            e.flush_enable = true;
+            (e, "FR, LRU")
+        }
+        9 => {
+            let mut e = c(CacheConfig::fully_associative(4), (0, 7), (0, 3));
+            e.flush_enable = true;
+            (e, "FR, LRU")
+        }
+        10 => {
+            let mut e = c(CacheConfig::direct_mapped(8), (0, 7), (0, 7));
+            e.flush_enable = true;
+            e.window_size = 40;
+            (e, "FR")
+        }
+        11 => {
+            let mut e = c(CacheConfig::fully_associative(8), (0, 7), (0, 0));
+            e.flush_enable = true;
+            e.victim_no_access_enable = true;
+            (e, "FR, LRU")
+        }
+        12 => {
+            let mut e = c(CacheConfig::fully_associative(8), (0, 15), (0, 0));
+            e.victim_no_access_enable = true;
+            e.window_size = 48;
+            (e, "ER, PP, LRU")
+        }
+        13 => {
+            let mut e = c(
+                CacheConfig::fully_associative(8).with_prefetcher(PrefetcherKind::NextLine),
+                (0, 15),
+                (0, 0),
+            );
+            e.victim_no_access_enable = true;
+            e.window_size = 48;
+            (e, "ER, PP, LRU")
+        }
+        14 => {
+            let mut e = c(
+                CacheConfig::fully_associative(8).with_prefetcher(PrefetcherKind::Stream),
+                (0, 15),
+                (0, 0),
+            );
+            e.victim_no_access_enable = true;
+            e.window_size = 48;
+            (e, "ER, PP, LRU")
+        }
+        15 => (c(CacheConfig::new(4, 2), (4, 11), (0, 3)), "PP"),
+        16 => {
+            let mut e = c(CacheConfig::new(4, 2), (4, 11), (0, 3));
+            e.cache = CacheSpec::TwoLevel(TwoLevelConfig::paper_config16());
+            e.window_size = 36;
+            (e, "PP")
+        }
+        17 => {
+            let mut e = c(CacheConfig::new(8, 2), (8, 23), (0, 7));
+            e.cache = CacheSpec::TwoLevel(TwoLevelConfig::paper_config17());
+            e.window_size = 64;
+            (e, "PP")
+        }
+        _ => return None,
+    };
+    let mut s = Scenario::new(format!("table4-{no}"), expected, env);
+    s.train.seed = no as u64;
+    Some(s)
+}
+
+/// The Table V / Sec. V-C replacement-policy case study for `policy`.
+pub fn replacement(policy: PolicyKind) -> Scenario {
+    let mut s = Scenario::new(
+        format!("replacement-{}", policy.name().to_lowercase()),
+        format!("{} replacement-state attack (Table V)", policy.name()),
+        EnvConfig::replacement_study(policy),
+    );
+    s.train.seed = 2;
+    s
+}
+
+/// Sec. V-D: µarch-statistics (miss-count) detection in the loop — the
+/// agent must find an attack that never makes the victim miss.
+pub fn defense_misscount() -> Scenario {
+    let mut s = Scenario::new(
+        "defense-misscount",
+        "bypass miss-count detection (expected: LRU-state attack)",
+        EnvConfig::replacement_study(PolicyKind::Lru).with_detection(MonitorSpec::strict_miss()),
+    );
+    s.train.seed = 3;
+    s.train.max_steps = 500_000;
+    s
+}
+
+/// Sec. V-D: CC-Hunter autocorrelation guarding the episode in-loop.
+pub fn defense_autocorr() -> Scenario {
+    let mut s = Scenario::new(
+        "defense-autocorr",
+        "bypass CC-Hunter autocorrelation detection",
+        EnvConfig::prime_probe_dm4().with_detection(MonitorSpec::cc_hunter()),
+    );
+    s.train.seed = 4;
+    s
+}
+
+/// Sec. V-D: Cyclone cyclic-interference features through a linear SVM.
+///
+/// The embedded weights are a fixed stand-in classifier (uniform weights,
+/// threshold ≈ 2 cyclic ping-pongs per trace) rather than one freshly
+/// trained on benign traces — scenario files must be self-contained.
+pub fn defense_cyclone_svm() -> Scenario {
+    let mut s = Scenario::new(
+        "defense-cyclone-svm",
+        "bypass Cyclone SVM detection",
+        EnvConfig::prime_probe_dm4().with_detection(MonitorSpec::CycloneSvm {
+            w: vec![1.0; 8],
+            b: -1.5,
+            num_intervals: 8,
+            proximity_window: 12,
+        }),
+    );
+    s.train.seed = 5;
+    s
+}
+
+/// Sec. V-D / Table VII: the PL cache locking every victim line.
+pub fn defense_plcache() -> Scenario {
+    let mut s = Scenario::new(
+        "defense-plcache",
+        "PL cache with locked victim lines (expected: no attack)",
+        EnvConfig::pl_cache_study(true),
+    );
+    s.train.seed = 6;
+    s
+}
+
+/// All four Sec. V-D protection-scheme scenarios.
+pub fn defenses() -> Vec<Scenario> {
+    vec![
+        defense_misscount(),
+        defense_autocorr(),
+        defense_cyclone_svm(),
+        defense_plcache(),
+    ]
+}
+
+/// The Table III blackbox-hardware scenario for `profile`.
+pub fn hardware(profile: HardwareProfile) -> Scenario {
+    let (s, e) = profile.attacker_range();
+    let mut env = EnvConfig::new(
+        CacheConfig::fully_associative(profile.ways()),
+        (s, e),
+        (0, 0),
+    );
+    env.cache = CacheSpec::Hardware(profile);
+    env.victim_no_access_enable = true;
+    env.rewards.step = -0.005; // the paper's hardware setting
+    let mut sc = Scenario::new(
+        format!("hardware-{}", profile_slug(profile)),
+        format!(
+            "{} {} blackbox ({} ways, policy {})",
+            profile.cpu(),
+            profile.level(),
+            profile.ways(),
+            profile.policy_label()
+        ),
+        env,
+    );
+    sc.train.seed = 7;
+    sc
+}
+
+/// Every built-in scenario: Table IV 1–17, the replacement case studies,
+/// the Sec. V-D defenses and the Table III hardware profiles.
+pub fn all() -> Vec<Scenario> {
+    let mut scenarios: Vec<Scenario> = (1..=17).filter_map(table4).collect();
+    for policy in [PolicyKind::Lru, PolicyKind::Plru, PolicyKind::Rrip] {
+        scenarios.push(replacement(policy));
+    }
+    scenarios.extend(defenses());
+    for profile in HardwareProfile::table3_rows() {
+        scenarios.push(hardware(profile));
+    }
+    scenarios
+}
+
+/// Resolves a scenario by registry name (e.g. `table4-6`,
+/// `defense-misscount`, `replacement-plru`, `hardware-skylake-l2`).
+pub fn lookup(name: &str) -> Option<Scenario> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+/// All registry names, in listing order.
+pub fn names() -> Vec<String> {
+    all().into_iter().map(|s| s.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_resolves_all_17_rows_and_nothing_else() {
+        for no in 1..=17 {
+            let s = table4(no).unwrap_or_else(|| panic!("row {no} missing"));
+            assert_eq!(s.name, format!("table4-{no}"));
+            assert!(s.env.validate().is_ok(), "row {no} must validate");
+            assert!(!s.summary.is_empty());
+        }
+        assert!(table4(0).is_none());
+        assert!(table4(18).is_none());
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let names = names();
+        let mut deduped = names.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len(), "duplicate registry names");
+        for name in &names {
+            assert!(lookup(name).is_some(), "{name} must resolve");
+        }
+        assert!(lookup("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn every_registry_scenario_validates_and_builds() {
+        for s in all() {
+            assert!(s.env.validate().is_ok(), "{} must validate", s.name);
+            assert!(s.build_env().is_ok(), "{} must build", s.name);
+        }
+    }
+
+    #[test]
+    fn defense_scenarios_carry_monitors() {
+        for s in defenses() {
+            if s.name == "defense-plcache" {
+                assert!(s.env.pl_lock_victim, "PL cache locks victim lines");
+            } else {
+                assert!(
+                    !s.env.detection.is_off(),
+                    "{} must run a monitor in-loop",
+                    s.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_level_rows_use_hierarchies() {
+        for no in [16, 17] {
+            let s = table4(no).unwrap();
+            assert!(matches!(s.env.cache, CacheSpec::TwoLevel(_)), "row {no}");
+        }
+    }
+}

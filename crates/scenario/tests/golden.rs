@@ -1,0 +1,62 @@
+//! Golden-file test: a hand-written TOML scenario must parse to exactly
+//! the expected in-memory [`Scenario`], and survive re-emission.
+
+use autocat_detect::MonitorSpec;
+use autocat_gym::EnvConfig;
+use autocat_scenario::{Scenario, TrainSpec};
+
+fn golden_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/golden.toml")
+}
+
+fn expected() -> Scenario {
+    let mut env = EnvConfig::flush_reload_fa4();
+    env.window_size = 16;
+    env.detection = MonitorSpec::Composite(vec![
+        MonitorSpec::VictimMiss { threshold: 2 },
+        MonitorSpec::Autocorr {
+            threshold: 0.85,
+            max_lag: 20,
+        },
+    ]);
+    let mut scenario = Scenario::new(
+        "golden-flush-reload",
+        "hand-written scenario: FR under stacked in-loop detection",
+        env,
+    );
+    let mut train = TrainSpec {
+        seed: 9,
+        max_steps: 250_000,
+        return_threshold: 0.85,
+        eval_episodes: 100,
+        ..TrainSpec::default()
+    };
+    train.ppo.num_lanes = 2;
+    scenario.train = train;
+    scenario
+}
+
+#[test]
+fn golden_file_parses_to_the_expected_scenario() {
+    let loaded = Scenario::load(golden_path()).expect("golden file must parse");
+    assert_eq!(loaded, expected());
+}
+
+#[test]
+fn golden_file_survives_re_emission() {
+    let loaded = Scenario::load(golden_path()).unwrap();
+    let emitted = loaded.to_toml();
+    let back = Scenario::from_toml(&emitted).expect("emitted TOML must re-parse");
+    assert_eq!(loaded, back, "emitted:\n{emitted}");
+    let back = Scenario::from_json(&loaded.to_json()).expect("emitted JSON must re-parse");
+    assert_eq!(loaded, back);
+}
+
+#[test]
+fn golden_scenario_validates_and_builds() {
+    let loaded = Scenario::load(golden_path()).unwrap();
+    assert!(loaded.validate().is_ok());
+    let env = loaded.build_env().expect("golden env must build");
+    use autocat_gym::Environment;
+    assert_eq!(env.window(), 16);
+}

@@ -1,22 +1,20 @@
 //! Case study 2 (paper Sec. V-D): finding an attack that bypasses
 //! miss-count detection — the seed of StealthyStreamline.
 //!
-//! With `detection_enable`, any victim cache miss terminates the episode
-//! with a penalty, so prime+probe stops working; the agent must exploit
-//! replacement state instead (the victim's line stays cached and only its
-//! LRU age leaks).
+//! The `defense-misscount` scenario runs a strict miss-count `Monitor` in
+//! the loop: any victim cache miss terminates the episode with a penalty,
+//! so prime+probe stops working; the agent must exploit replacement state
+//! instead (the victim's line stays cached and only its LRU age leaks).
 //!
 //! Run with: `cargo run --release --example bypass_detection`
 
 use autocat::cache::PolicyKind;
-use autocat::gym::{DetectionMode, EnvConfig};
-use autocat::Explorer;
 
 fn main() {
     println!("Exploring a 4-way LRU cache WITH miss-based detection enabled...");
-    let cfg =
-        EnvConfig::replacement_study(PolicyKind::Lru).with_detection(DetectionMode::VictimMiss);
-    let report = Explorer::new(cfg).seed(3).max_steps(500_000).run().unwrap();
+    let scenario = autocat_scenario::defense_misscount();
+    println!("scenario : {} ({})", scenario.name, scenario.summary);
+    let report = scenario.run().expect("valid scenario");
     println!("sequence : {}", report.sequence_notation);
     println!(
         "category : {} (LRU-state attacks never make the victim miss)",

@@ -1,19 +1,58 @@
-//! The StealthyStreamline covert channel on modelled machines (Table X).
+//! The StealthyStreamline covert channel on modelled machines (Table X),
+//! plus a scenario-driven sender/receiver replay: forcing secrets in the
+//! `table4-6` scenario environment turns the guessing game into a covert
+//! channel, with the textbook flush+reload agent as the receiver.
 //!
 //! Run with: `cargo run --release --example covert_channel`
 
 use autocat::attacks::stealthy::StealthyStreamline;
+use autocat::attacks::textbook::{ScriptedAttacker, TextbookFlushReload};
 use autocat::attacks::{ChannelKind, CovertChannelModel, MachineModel};
 use autocat::cache::PolicyKind;
+use autocat::gym::{env::Secret, Action, Environment};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn main() {
+    // Covert transmission through a scenario environment: the sender picks
+    // the victim's secret per episode, the receiver plays flush+reload.
+    let scenario = autocat_scenario::table4(6).expect("registry row 6 exists");
+    let mut env = scenario.build_env().expect("valid scenario");
+    let mut receiver = TextbookFlushReload::new(&scenario.env);
+    let mut rng = StdRng::seed_from_u64(0);
+    let message = [1u8, 0, 1, 1, 0, 0, 1, 0];
+    let mut decoded = Vec::new();
+    for &bit in &message {
+        env.force_secret(Some(if bit == 1 {
+            Secret::Addr(0)
+        } else {
+            Secret::NoAccess
+        }));
+        env.reset(&mut rng);
+        receiver.begin();
+        let mut last = None;
+        loop {
+            let action = receiver.decide(last);
+            let idx = env.action_space().encode(action).expect("action exists");
+            let result = env.step(idx, &mut rng);
+            last = env.history().last().map(|h| h.latency);
+            if result.done {
+                decoded.push(u8::from(matches!(action, Action::Guess(_))));
+                break;
+            }
+        }
+    }
+    println!("scenario : {} ({})", scenario.name, scenario.summary);
+    println!("sent     : {message:?}");
+    println!("decoded  : {decoded:?}");
+
     // End-to-end transmission through the cache model.
     let ss = StealthyStreamline::new(8, PolicyKind::Lru, 2);
     let message: Vec<u64> = vec![2, 0, 3, 1, 1, 2, 3, 0, 2, 2];
     let decoded = ss.transmit(&message, || false);
-    println!("sent    : {message:?}");
+    println!("\nStealthyStreamline sent    : {message:?}");
     println!(
-        "decoded : {:?}",
+        "StealthyStreamline decoded : {:?}",
         decoded.iter().map(|d| d.unwrap()).collect::<Vec<_>>()
     );
 

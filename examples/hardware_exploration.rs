@@ -2,32 +2,19 @@
 //!
 //! The blackbox `SimulatedProcessor` stands in for CacheQuery-driven Intel
 //! machines: hidden replacement policy, measurement noise, one cache set.
+//! The scenario registry carries one scenario per Table III profile.
 //!
 //! Run with: `cargo run --release --example hardware_exploration`
 
-use autocat::cache::CacheConfig;
-use autocat::gym::{CacheSpec, EnvConfig, HardwareProfile};
-use autocat::Explorer;
+use autocat::gym::HardwareProfile;
 
 fn main() {
     let profile = HardwareProfile::SkylakeL2;
-    println!(
-        "Exploring {} {} ({} ways, policy {}) as a blackbox...",
-        profile.cpu(),
-        profile.level(),
-        profile.ways(),
-        profile.policy_label()
-    );
-    let (s, e) = profile.attacker_range();
-    let mut cfg = EnvConfig::new(
-        CacheConfig::fully_associative(profile.ways()),
-        (s, e),
-        (0, 0),
-    );
-    cfg.cache = CacheSpec::Hardware(profile);
-    cfg.victim_no_access_enable = true;
-    cfg.rewards.step = -0.005; // the paper's hardware setting
-    let report = Explorer::new(cfg).seed(4).max_steps(400_000).run().unwrap();
+    let mut scenario = autocat_scenario::hardware(profile);
+    println!("Exploring scenario {} as a blackbox...", scenario.name);
+    println!("  {}", scenario.summary);
+    scenario.train.seed = 4;
+    let report = scenario.run().expect("valid scenario");
     println!("sequence : {}", report.sequence_notation);
     println!("category : {}", report.category);
     println!(

@@ -1,19 +1,15 @@
 //! Quickstart: let the RL agent discover a flush+reload attack on the
 //! paper's Table IV config 6 (fully-associative 4-way LRU cache, shared
-//! address 0, flush enabled).
+//! address 0, flush enabled) — resolved from the scenario registry.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use autocat::gym::EnvConfig;
-use autocat::Explorer;
-
 fn main() {
-    println!("AutoCAT quickstart: exploring config 6 (expected: flush+reload)");
-    let report = Explorer::new(EnvConfig::flush_reload_fa4())
-        .seed(1)
-        .max_steps(300_000)
-        .run()
-        .expect("valid configuration");
+    println!("AutoCAT quickstart: exploring scenario table4-6 (expected: flush+reload)");
+    let mut scenario = autocat_scenario::table4(6).expect("registry row 6 exists");
+    scenario.train.seed = 1;
+    scenario.train.max_steps = 300_000;
+    let report = scenario.run().expect("valid scenario");
     println!("attack sequence : {}", report.sequence_notation);
     println!("category        : {}", report.category);
     println!("guess accuracy  : {:.3}", report.accuracy);

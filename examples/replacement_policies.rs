@@ -1,20 +1,18 @@
 //! Case study 1 (paper Sec. V-C): attacks against LRU, PLRU and RRIP
-//! replacement state.
+//! replacement state, via the scenario registry.
 //!
 //! Run with: `cargo run --release --example replacement_policies`
 
 use autocat::cache::PolicyKind;
-use autocat::gym::EnvConfig;
-use autocat::Explorer;
 
 fn main() {
     for policy in [PolicyKind::Lru, PolicyKind::Plru, PolicyKind::Rrip] {
-        println!("\n--- policy: {} ---", policy.name());
-        let report = Explorer::new(EnvConfig::replacement_study(policy))
-            .seed(2)
-            .max_steps(400_000)
-            .run()
-            .expect("valid configuration");
+        println!(
+            "\n--- scenario: replacement-{} ---",
+            policy.name().to_lowercase()
+        );
+        let scenario = autocat_scenario::replacement(policy);
+        let report = scenario.run().expect("valid scenario");
         println!("sequence : {}", report.sequence_notation);
         println!(
             "category : {}   accuracy: {:.3}",

@@ -10,8 +10,8 @@ use autocat::attacks::textbook::{
 use autocat::cache::{CacheConfig, PolicyKind};
 use autocat::detect::{AutocorrDetector, CycloneFeatures, MissCountDetector};
 use autocat::gym::{
-    env::Secret, Action, CacheGuessingGame, DetectionMode, EnvConfig, Environment,
-    MultiGuessConfig, MultiGuessEnv,
+    env::Secret, Action, CacheGuessingGame, EnvConfig, Environment, MonitorSpec, MultiGuessConfig,
+    MultiGuessEnv,
 };
 use autocat::ppo::{Backbone, PpoConfig, Trainer};
 use autocat::Explorer;
@@ -84,7 +84,7 @@ fn miss_detection_blocks_prime_probe_but_not_lru_state() {
     let mut r = rng(3);
     // Prime+probe forces victim misses: with detection on, a textbook PP
     // episode terminates as detected.
-    let cfg = EnvConfig::prime_probe_dm4().with_detection(DetectionMode::VictimMiss);
+    let cfg = EnvConfig::prime_probe_dm4().with_detection(MonitorSpec::strict_miss());
     let mut env = CacheGuessingGame::new(cfg.clone()).unwrap();
     let mut pp = TextbookPrimeProbe::new(&cfg, 4);
     env.reset(&mut r);

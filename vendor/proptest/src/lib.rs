@@ -112,7 +112,7 @@ pub mod collection {
         }
     }
 
-    /// `Vec` strategy produced by [`vec`].
+    /// `Vec` strategy produced by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
