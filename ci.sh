@@ -8,6 +8,9 @@ cargo build --release --workspace --all-targets
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> cargo test --doc (trait-contract examples)"
+cargo test -q --doc --workspace
+
 echo "==> cargo build --examples"
 cargo build --release --examples
 

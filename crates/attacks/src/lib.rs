@@ -13,6 +13,40 @@
 //! * [`channel`] — the cycle-level covert-channel model regenerating
 //!   Table X and Fig. 5 (bit rate vs error rate on simulated machines).
 //! * [`search`] — the brute-force/RL search-cost comparison of Sec. VI-A.
+//!
+//! # Where this sits in the pipeline
+//!
+//! The RL loop (`autocat-ppo`) ends with a converged policy; this crate
+//! turns that policy's behavior back into *security knowledge*. Greedy
+//! replay (`autocat_ppo::eval::extract_sequence`) decodes the policy into
+//! an action sequence, and [`classify::classify_sequence`] names the
+//! attack family the agent rediscovered — the label printed in the
+//! paper's Table IV "attack" column, in `Explorer` reports, and in the
+//! `sweep` harness's reproduction report. The scripted agents in
+//! [`textbook`] close the loop from the other side: they replay the
+//! literature's attacks against the same environments so RL-found
+//! sequences can be benchmarked against their hand-written ancestors.
+//!
+//! # Example: name an attack sequence
+//!
+//! ```
+//! use autocat_attacks::{classify_sequence, AttackCategory};
+//! use autocat_gym::{Action, EnvConfig};
+//!
+//! // flush the probe line, trigger the victim, time a reload, guess:
+//! // the flush+reload signature on Table IV config 3.
+//! let config = EnvConfig::flush_reload_fa4();
+//! let sequence = [
+//!     Action::Flush(0),
+//!     Action::TriggerVictim,
+//!     Action::Access(0),
+//!     Action::Guess(0),
+//! ];
+//! assert_eq!(
+//!     classify_sequence(&sequence, &config),
+//!     AttackCategory::FlushReload
+//! );
+//! ```
 
 pub mod channel;
 pub mod classify;

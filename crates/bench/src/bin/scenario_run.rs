@@ -8,14 +8,13 @@
 //! scenario-run --scenario table4-16 --export cfg16.toml   # write, don't run
 //! ```
 
+use autocat_bench::cli::TrainOverrides;
 use autocat_scenario::Scenario;
 
 struct Args {
     scenario: Option<String>,
     file: Option<String>,
-    steps: Option<u64>,
-    seed: Option<u64>,
-    lanes: Option<usize>,
+    overrides: TrainOverrides,
     export: Option<String>,
     list: bool,
 }
@@ -24,41 +23,21 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         scenario: None,
         file: None,
-        steps: None,
-        seed: None,
-        lanes: None,
+        overrides: TrainOverrides::default(),
         export: None,
         list: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        if args.overrides.try_parse(&flag, &mut value)? {
+            continue;
+        }
         match flag.as_str() {
             "--list" => args.list = true,
             "--scenario" => args.scenario = Some(value("--scenario")?),
             "--file" => args.file = Some(value("--file")?),
             "--export" => args.export = Some(value("--export")?),
-            "--steps" => {
-                args.steps = Some(
-                    value("--steps")?
-                        .parse()
-                        .map_err(|_| "--steps expects an integer".to_string())?,
-                )
-            }
-            "--seed" => {
-                args.seed = Some(
-                    value("--seed")?
-                        .parse()
-                        .map_err(|_| "--seed expects an integer".to_string())?,
-                )
-            }
-            "--lanes" => {
-                args.lanes = Some(
-                    value("--lanes")?
-                        .parse()
-                        .map_err(|_| "--lanes expects an integer".to_string())?,
-                )
-            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -102,15 +81,7 @@ fn main() {
         _ => usage(),
     };
 
-    if let Some(steps) = args.steps {
-        scenario.train.max_steps = steps;
-    }
-    if let Some(seed) = args.seed {
-        scenario.train.seed = seed;
-    }
-    if let Some(lanes) = args.lanes {
-        scenario.train.ppo.num_lanes = lanes.max(1);
-    }
+    args.overrides.apply(&mut scenario);
 
     if let Some(path) = &args.export {
         if let Err(e) = scenario.save(path) {

@@ -1,0 +1,102 @@
+//! CLI plumbing shared by the scenario-driven binaries (`scenario-run`,
+//! `sweep`): the common training-override flags, parsed and applied one
+//! way so the two front ends cannot drift.
+
+use autocat_scenario::Scenario;
+
+/// The `--steps` / `--seed` / `--lanes` override trio.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrainOverrides {
+    /// `--steps N`: replaces the scenario's `train.max_steps`.
+    pub steps: Option<u64>,
+    /// `--seed N`: replaces the scenario's `train.seed`.
+    pub seed: Option<u64>,
+    /// `--lanes N`: replaces the scenario's VecEnv width (clamped to 1).
+    pub lanes: Option<usize>,
+}
+
+impl TrainOverrides {
+    /// Consumes `flag` if it is one of the override flags, pulling its
+    /// value from `next_value`. Returns `Ok(true)` when consumed,
+    /// `Ok(false)` when the flag is not an override flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the flag's value is missing or not an integer.
+    pub fn try_parse(
+        &mut self,
+        flag: &str,
+        next_value: &mut dyn FnMut(&str) -> Result<String, String>,
+    ) -> Result<bool, String> {
+        fn parse<T: std::str::FromStr>(flag: &str, text: &str) -> Result<T, String> {
+            text.parse()
+                .map_err(|_| format!("{flag} expects an integer"))
+        }
+        match flag {
+            "--steps" => self.steps = Some(parse(flag, &next_value(flag)?)?),
+            "--seed" => self.seed = Some(parse(flag, &next_value(flag)?)?),
+            "--lanes" => self.lanes = Some(parse(flag, &next_value(flag)?)?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Whether any override was given.
+    pub fn any(&self) -> bool {
+        self.steps.is_some() || self.seed.is_some() || self.lanes.is_some()
+    }
+
+    /// Applies the overrides to a scenario's training spec.
+    pub fn apply(&self, scenario: &mut Scenario) {
+        if let Some(steps) = self.steps {
+            scenario.train.max_steps = steps;
+        }
+        if let Some(seed) = self.seed {
+            scenario.train.seed = seed;
+        }
+        if let Some(lanes) = self.lanes {
+            scenario.train.ppo.num_lanes = lanes.max(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(args: &[&str]) -> Result<TrainOverrides, String> {
+        let mut overrides = TrainOverrides::default();
+        let mut it = args.iter().map(|s| s.to_string());
+        while let Some(flag) = it.next() {
+            let mut value =
+                |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+            if !overrides.try_parse(&flag, &mut value)? {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+        }
+        Ok(overrides)
+    }
+
+    #[test]
+    fn parses_and_applies_the_trio() {
+        let overrides = parse_all(&["--steps", "5000", "--seed", "7", "--lanes", "0"]).unwrap();
+        assert!(overrides.any());
+        let mut scenario = autocat_scenario::table4(1).unwrap();
+        overrides.apply(&mut scenario);
+        assert_eq!(scenario.train.max_steps, 5000);
+        assert_eq!(scenario.train.seed, 7);
+        assert_eq!(scenario.train.ppo.num_lanes, 1, "lanes clamp to 1");
+    }
+
+    #[test]
+    fn rejects_bad_values_and_leaves_unknown_flags() {
+        assert!(parse_all(&["--steps", "many"])
+            .unwrap_err()
+            .contains("--steps"));
+        assert!(parse_all(&["--steps"]).unwrap_err().contains("--steps"));
+        assert!(parse_all(&["--frobnicate"])
+            .unwrap_err()
+            .contains("unknown"));
+        assert!(!parse_all(&[]).unwrap().any());
+    }
+}

@@ -1,9 +1,14 @@
-//! Shared helpers for the table/figure harness binaries.
+//! Shared helpers for the table/figure harness binaries, plus the
+//! [`sweep`] pipeline (train every scenario → checkpoint → Table IV
+//! reproduction report).
 //!
-//! Every binary regenerates one table or figure of the paper (see
-//! DESIGN.md's experiment index). Budgets: set `AUTOCAT_BUDGET=full` for
-//! the paper-scale runs; the default `quick` mode uses reduced training
-//! budgets and fewer repeat runs so a full sweep finishes on a laptop.
+//! Every binary regenerates one table or figure of the paper. Budgets:
+//! set `AUTOCAT_BUDGET=full` for the paper-scale runs; the default
+//! `quick` mode uses reduced training budgets and fewer repeat runs so a
+//! full sweep finishes on a laptop.
+
+pub mod cli;
+pub mod sweep;
 
 use autocat::gym::EnvConfig;
 use autocat::ppo::{Backbone, PpoConfig};

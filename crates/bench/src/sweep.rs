@@ -1,0 +1,402 @@
+//! The scenario-sweep pipeline behind the `sweep` binary: train every
+//! registry scenario, checkpoint each policy, decode greedy attack traces,
+//! and render a Table IV reproduction report.
+//!
+//! The pipeline is deliberately split from the CLI so the
+//! train-→-artifacts-→-report round trip is testable: a report generated
+//! right after training and a report regenerated later from the artifacts
+//! alone ([`row_from_artifacts`]) are **identical**, because a row is
+//! always produced from a checkpoint-equivalent trainer state (training
+//! saves first, then decodes; report-only loads, then decodes — the
+//! checkpoint resume guarantee in `autocat_ppo::checkpoint` makes both
+//! decodes bit-identical).
+//!
+//! # Artifact layout
+//!
+//! Everything lives under one output directory (`--out`, default
+//! `runs/sweep`):
+//!
+//! ```text
+//! runs/sweep/
+//!   table4-1.scenario.json    # the exact scenario trained (with overrides)
+//!   table4-1.ckpt.json        # its policy/optimizer/RNG checkpoint
+//!   ...
+//!   report.md                 # the Table IV reproduction report
+//!   report.json               # the same rows, machine-readable
+//! ```
+
+use autocat::attacks::classify::classify_sequence;
+use autocat::gym::{Action, CacheGuessingGame};
+use autocat::ppo::{eval, Trainer};
+use autocat_scenario::value::{self, req, u64_from, u64_value, Value};
+use autocat_scenario::Scenario;
+use std::path::{Path, PathBuf};
+
+/// One row of the sweep report (one trained scenario).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepRow {
+    /// Scenario name (registry or file-derived).
+    pub scenario: String,
+    /// The scenario's human-readable summary (for Table IV rows, the
+    /// attack the paper's agent found).
+    pub summary: String,
+    /// Environment steps trained.
+    pub steps: u64,
+    /// Trailing average episode return when training stopped.
+    pub final_return: f32,
+    /// Whether the trailing return reached the scenario's threshold.
+    pub converged: bool,
+    /// Heuristic category of the decoded attack (the paper's analysis).
+    pub category: String,
+    /// Whether the greedy rollout guessed the secret correctly.
+    pub correct: bool,
+    /// The decoded attack in the paper's notation.
+    pub sequence: String,
+}
+
+/// Checkpoint file for a scenario name under `out`.
+pub fn checkpoint_path(out: &Path, name: &str) -> PathBuf {
+    out.join(format!("{name}.ckpt.json"))
+}
+
+/// Scenario sidecar file for a scenario name under `out`.
+pub fn scenario_path(out: &Path, name: &str) -> PathBuf {
+    out.join(format!("{name}.scenario.json"))
+}
+
+/// Decodes a report row from a trainer whose state equals the checkpoint
+/// on disk — either because the checkpoint was just saved from it, or
+/// because it was just loaded from one.
+fn report_row(trainer: &mut Trainer<CacheGuessingGame>, scenario: &Scenario) -> SweepRow {
+    let steps = trainer.total_steps();
+    let final_return = trainer.avg_return();
+    let converged = final_return >= scenario.train.return_threshold;
+    let (env, net, rng) = trainer.parts_mut();
+    let seq = eval::extract_sequence(env, net, rng);
+    let actions: Vec<Action> = seq
+        .actions
+        .iter()
+        .map(|&i| env.action_space().decode(i))
+        .collect();
+    let sequence = actions
+        .iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(" -> ");
+    let category = classify_sequence(&actions, env.config()).to_string();
+    SweepRow {
+        scenario: scenario.name.clone(),
+        summary: scenario.summary.clone(),
+        steps,
+        final_return,
+        converged,
+        category,
+        correct: seq.correct,
+        sequence,
+    }
+}
+
+/// Trains one scenario to its budget, writes its artifacts (scenario
+/// sidecar + checkpoint) under `out`, and returns its report row.
+///
+/// # Errors
+///
+/// Returns an error if the scenario is invalid or an artifact cannot be
+/// written.
+pub fn train_one(scenario: &Scenario, out: &Path) -> Result<SweepRow, String> {
+    let err = |e: String| format!("{}: {e}", scenario.name);
+    let env = scenario.build_env().map_err(err)?;
+    let mut trainer = Trainer::new(
+        env,
+        scenario.train.backbone.clone(),
+        scenario.train.ppo,
+        scenario.train.seed,
+    );
+    trainer.train_until(scenario.train.return_threshold, scenario.train.max_steps);
+    // Checkpoint first, sidecar last: the sidecar is the discovery key
+    // (`artifact_names`), so a run killed between the two writes leaves
+    // an invisible checkpoint rather than an orphan sidecar that poisons
+    // every later report in this directory.
+    trainer
+        .save_checkpoint(checkpoint_path(out, &scenario.name))
+        .map_err(err)?;
+    scenario
+        .save(scenario_path(out, &scenario.name))
+        .map_err(err)?;
+    // Decode *after* saving: the in-memory state now equals the artifact,
+    // so `row_from_artifacts` reproduces this row exactly.
+    Ok(report_row(&mut trainer, scenario))
+}
+
+/// Regenerates one report row from artifacts alone: loads the scenario
+/// sidecar, rebuilds its environment, loads the checkpoint and decodes.
+///
+/// # Errors
+///
+/// Returns an error if either artifact is missing, unparsable or
+/// inconsistent with the other.
+pub fn row_from_artifacts(out: &Path, name: &str) -> Result<SweepRow, String> {
+    let err = |e: String| format!("{name}: {e}");
+    let scenario = Scenario::load(scenario_path(out, name)).map_err(err)?;
+    let env = scenario.build_env().map_err(err)?;
+    let mut trainer = Trainer::load_checkpoint(checkpoint_path(out, name), env).map_err(err)?;
+    Ok(report_row(&mut trainer, &scenario))
+}
+
+/// Lists the scenario names with artifacts under `out` (every
+/// `<name>.scenario.json`), sorted in report order.
+///
+/// # Errors
+///
+/// Returns an error if the directory cannot be read.
+pub fn artifact_names(out: &Path) -> Result<Vec<String>, String> {
+    let entries = std::fs::read_dir(out).map_err(|e| format!("reading {}: {e}", out.display()))?;
+    let mut names = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", out.display()))?;
+        let file = entry.file_name();
+        let file = file.to_string_lossy();
+        if let Some(name) = file.strip_suffix(".scenario.json") {
+            names.push(name.to_string());
+        }
+    }
+    names.sort_by_key(|n| name_sort_key(n));
+    Ok(names)
+}
+
+/// Natural sort key so `table4-2` precedes `table4-10` the way Table IV
+/// orders its rows.
+fn name_sort_key(name: &str) -> (String, u64, String) {
+    let digits = name.len() - name.trim_end_matches(|c: char| c.is_ascii_digit()).len();
+    let (prefix, number) = name.split_at(name.len() - digits);
+    (
+        prefix.to_string(),
+        number.parse().unwrap_or(0),
+        name.to_string(),
+    )
+}
+
+/// Sorts rows into report order (natural order on scenario names).
+pub fn sort_rows(rows: &mut [SweepRow]) {
+    rows.sort_by_key(|r| name_sort_key(&r.scenario));
+}
+
+/// Extends `rows` with a regenerated row for every artifact under `out`
+/// not already covered, so a written report always reflects the *whole*
+/// artifact directory — a filtered training run must not silently drop
+/// previously-trained scenarios from `report.md`.
+///
+/// # Errors
+///
+/// Returns an error if the directory cannot be read or an uncovered
+/// artifact fails to load.
+pub fn fill_missing_rows(out: &Path, rows: &mut Vec<SweepRow>) -> Result<(), String> {
+    let covered: std::collections::BTreeSet<String> =
+        rows.iter().map(|r| r.scenario.clone()).collect();
+    for name in artifact_names(out)? {
+        if !covered.contains(&name) {
+            rows.push(row_from_artifacts(out, &name)?);
+        }
+    }
+    Ok(())
+}
+
+/// Renders the Markdown reproduction report.
+pub fn render_markdown(rows: &[SweepRow]) -> String {
+    let mut out = String::from(
+        "# Table IV reproduction report\n\n\
+         Generated by the `sweep` harness from per-scenario checkpoints; regenerate this\n\
+         exact report from the artifacts alone with `sweep --report-only --out <dir>`.\n\n\
+         | scenario | steps | final reward | converged | attack category | correct | sequence |\n\
+         |----------|------:|-------------:|-----------|-----------------|---------|----------|\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "| {} | {} | {:.3} | {} | {} | {} | `{}` |\n",
+            row.scenario,
+            row.steps,
+            row.final_return,
+            if row.converged { "yes" } else { "no" },
+            row.category,
+            if row.correct { "yes" } else { "no" },
+            row.sequence,
+        ));
+    }
+    out
+}
+
+/// Renders the machine-readable JSON report.
+pub fn render_json(rows: &[SweepRow]) -> String {
+    let mut root = Value::table();
+    root.set("version", Value::Int(1));
+    root.set(
+        "rows",
+        Value::Array(
+            rows.iter()
+                .map(|row| {
+                    let mut table = Value::table();
+                    table.set("scenario", Value::Str(row.scenario.clone()));
+                    table.set("summary", Value::Str(row.summary.clone()));
+                    table.set("steps", u64_value(row.steps));
+                    table.set("final_return", Value::Float(f64::from(row.final_return)));
+                    table.set("converged", Value::Bool(row.converged));
+                    table.set("category", Value::Str(row.category.clone()));
+                    table.set("correct", Value::Bool(row.correct));
+                    table.set("sequence", Value::Str(row.sequence.clone()));
+                    table
+                })
+                .collect(),
+        ),
+    );
+    value::to_json(&root)
+}
+
+/// Parses rows back out of a [`render_json`] report.
+///
+/// # Errors
+///
+/// Returns an error on malformed input.
+pub fn rows_from_json(text: &str) -> Result<Vec<SweepRow>, String> {
+    let root = value::from_json(text)?;
+    let table = root.as_table()?;
+    req(table, "rows")?
+        .as_array()?
+        .iter()
+        .map(|item| {
+            let row = item.as_table()?;
+            Ok(SweepRow {
+                scenario: req(row, "scenario")?.as_str()?.to_string(),
+                summary: req(row, "summary")?.as_str()?.to_string(),
+                steps: u64_from(req(row, "steps")?)?,
+                final_return: req(row, "final_return")?.as_f32()?,
+                converged: req(row, "converged")?.as_bool()?,
+                category: req(row, "category")?.as_str()?.to_string(),
+                correct: req(row, "correct")?.as_bool()?,
+                sequence: req(row, "sequence")?.as_str()?.to_string(),
+            })
+        })
+        .collect()
+}
+
+/// Writes `report.md` and `report.json` for sorted `rows` under `out`.
+///
+/// # Errors
+///
+/// Returns an error if a file cannot be written.
+pub fn write_report(out: &Path, rows: &[SweepRow]) -> Result<(), String> {
+    let write = |file: &str, text: String| {
+        let path = out.join(file);
+        std::fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))
+    };
+    write("report.md", render_markdown(rows))?;
+    write("report.json", render_json(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocat_scenario::table4;
+
+    /// A scenario cut down to test size (a handful of updates).
+    fn tiny_scenario() -> Scenario {
+        let mut scenario = table4(3).unwrap(); // flush+reload: learns fast
+        scenario.train.max_steps = 512;
+        scenario.train.ppo.horizon = 256;
+        scenario.train.ppo.minibatch = 64;
+        scenario.train.ppo.epochs_per_update = 2;
+        scenario.train.eval_episodes = 10;
+        scenario
+    }
+
+    fn temp_out(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("autocat-sweep-tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn report_only_regenerates_the_identical_report() {
+        // The acceptance criterion: train → report, then regenerate the
+        // report from the artifacts alone, and demand equality down to the
+        // rendered bytes.
+        let out = temp_out("identical-report");
+        let scenario = tiny_scenario();
+        let trained_row = train_one(&scenario, &out).unwrap();
+        write_report(&out, std::slice::from_ref(&trained_row)).unwrap();
+
+        let names = artifact_names(&out).unwrap();
+        assert_eq!(names, vec![scenario.name.clone()]);
+        let regenerated = row_from_artifacts(&out, &scenario.name).unwrap();
+        assert_eq!(regenerated, trained_row, "rows must match field-for-field");
+        let rows = std::slice::from_ref(&regenerated);
+        assert_eq!(
+            render_markdown(rows),
+            std::fs::read_to_string(out.join("report.md")).unwrap()
+        );
+        assert_eq!(
+            render_json(rows),
+            std::fs::read_to_string(out.join("report.json")).unwrap()
+        );
+    }
+
+    #[test]
+    fn filtered_runs_keep_earlier_scenarios_in_the_report() {
+        // Two sweeps into one directory with disjoint filters: the report
+        // written by the second must still cover the first's scenario.
+        let out = temp_out("incremental");
+        let first = tiny_scenario();
+        let first_row = train_one(&first, &out).unwrap();
+
+        let mut second = tiny_scenario();
+        second.name = "tiny-second".into();
+        let mut rows = vec![train_one(&second, &out).unwrap()];
+
+        fill_missing_rows(&out, &mut rows).unwrap();
+        sort_rows(&mut rows);
+        let names: Vec<&str> = rows.iter().map(|r| r.scenario.as_str()).collect();
+        assert_eq!(names, [first.name.as_str(), "tiny-second"]);
+        assert!(rows.contains(&first_row), "regenerated row must be exact");
+    }
+
+    #[test]
+    fn json_report_round_trips() {
+        let rows = vec![SweepRow {
+            scenario: "table4-3".into(),
+            summary: "FR".into(),
+            steps: 512,
+            final_return: 0.123_456_7,
+            converged: false,
+            category: "flush+reload".into(),
+            correct: true,
+            sequence: "f0 -> v -> 0 -> g".into(),
+        }];
+        let back = rows_from_json(&render_json(&rows)).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn rows_sort_in_table_order() {
+        let row = |name: &str| SweepRow {
+            scenario: name.into(),
+            summary: String::new(),
+            steps: 0,
+            final_return: 0.0,
+            converged: false,
+            category: String::new(),
+            correct: false,
+            sequence: String::new(),
+        };
+        let mut rows = vec![row("table4-10"), row("defense-misscount"), row("table4-2")];
+        sort_rows(&mut rows);
+        let names: Vec<&str> = rows.iter().map(|r| r.scenario.as_str()).collect();
+        assert_eq!(names, ["defense-misscount", "table4-2", "table4-10"]);
+    }
+
+    #[test]
+    fn missing_artifacts_are_reported_with_the_scenario_name() {
+        let out = temp_out("missing");
+        let err = row_from_artifacts(&out, "table4-1").err().unwrap();
+        assert!(err.contains("table4-1"), "{err}");
+    }
+}

@@ -8,6 +8,7 @@
 //! touching the gym crate.
 
 use crate::cache::{Cache, CacheStats};
+use crate::config::PolicyKind;
 use crate::event::{CacheEvent, Domain};
 use crate::hierarchy::TwoLevelCache;
 
@@ -33,7 +34,28 @@ use crate::hierarchy::TwoLevelCache;
 /// issuing core's private L1 but hits the shared L2 (`observed_hit =
 /// true`, `true_hit = false`), and on noisy hardware backends when the
 /// timing misclassifies the outcome. On a single-level [`Cache`] they are
-/// always equal.
+/// always equal:
+///
+/// ```
+/// use autocat_cache::{Cache, CacheBackend, CacheConfig, Domain};
+/// use autocat_cache::{TwoLevelCache, TwoLevelConfig};
+///
+/// // Single level: the pair never diverges.
+/// let mut single: Box<dyn CacheBackend> =
+///     Box::new(Cache::new(CacheConfig::fully_associative(2)));
+/// assert_eq!(single.access(0, Domain::Attacker), (false, false)); // cold miss
+/// assert_eq!(single.access(0, Domain::Attacker), (true, true));   // now cached
+///
+/// // Two-level: victim fills addr 0 and 4; the direct-mapped L1 can hold
+/// // only one of them, the 2-way shared L2 keeps both. Re-accessing addr 0
+/// // misses the private L1 (true_hit = false) but the L2 supplies the
+/// // line, so the timing measurement sees a hit (observed_hit = true).
+/// let mut two: Box<dyn CacheBackend> =
+///     Box::new(TwoLevelCache::new(TwoLevelConfig::paper_config16()));
+/// two.access(0, Domain::Victim);
+/// two.access(4, Domain::Victim);
+/// assert_eq!(two.access(0, Domain::Victim), (true, false));
+/// ```
 ///
 /// # Event stream
 ///
@@ -129,6 +151,17 @@ impl CacheBackend for Cache {
         *Cache::stats(self)
     }
 
+    /// Random replacement draws from an internal RNG, so eviction choices
+    /// are stochastic from the caller's perspective; every other policy is
+    /// a pure function of the access sequence.
+    fn is_stochastic(&self) -> bool {
+        self.config().policy == PolicyKind::Random
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.reseed_policy(seed);
+    }
+
     fn box_clone(&self) -> Box<dyn CacheBackend> {
         Box::new(self.clone())
     }
@@ -184,6 +217,16 @@ impl CacheBackend for TwoLevelCache {
         stats
     }
 
+    /// Stochastic when any level uses random replacement.
+    fn is_stochastic(&self) -> bool {
+        self.config().l1.policy == PolicyKind::Random
+            || self.config().l2.policy == PolicyKind::Random
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.reseed_policy(seed);
+    }
+
     fn box_clone(&self) -> Box<dyn CacheBackend> {
         Box::new(self.clone())
     }
@@ -194,6 +237,42 @@ mod tests {
     use super::*;
     use crate::config::CacheConfig;
     use crate::hierarchy::TwoLevelConfig;
+
+    /// After `reseed`, a random-replacement cache's eviction choices must
+    /// depend only on the new seed — not on how many draws the policy RNG
+    /// made before. This is the property that makes environment episodes
+    /// (and therefore trainer checkpoints) a pure function of the episode
+    /// RNG stream.
+    #[test]
+    fn reseed_makes_random_policy_state_seed_determined() {
+        let config = CacheConfig::new(2, 4).with_policy(PolicyKind::Random);
+        let drive = |cache: &mut Cache, accesses: usize| -> Vec<(bool, bool)> {
+            (0..accesses as u64)
+                .map(|i| CacheBackend::access(cache, (i * 7) % 23, Domain::Attacker))
+                .collect()
+        };
+        let mut a = Cache::new(config.clone());
+        let mut b = Cache::new(config);
+        assert!(CacheBackend::is_stochastic(&a));
+        // Burn a different number of policy-RNG draws on each cache.
+        drive(&mut a, 40);
+        drive(&mut b, 17);
+        for cache in [&mut a, &mut b] {
+            CacheBackend::reseed(cache, 99);
+            CacheBackend::reset(cache);
+        }
+        assert_eq!(drive(&mut a, 60), drive(&mut b, 60));
+    }
+
+    #[test]
+    fn two_level_is_stochastic_when_any_level_is_random() {
+        let mut config = TwoLevelConfig::paper_config16();
+        assert!(!CacheBackend::is_stochastic(&TwoLevelCache::new(
+            config.clone()
+        )));
+        config.l2 = config.l2.with_policy(PolicyKind::Random);
+        assert!(CacheBackend::is_stochastic(&TwoLevelCache::new(config)));
+    }
 
     #[test]
     fn single_level_pair_always_agrees() {

@@ -41,9 +41,21 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Adds `other`'s counters into `self`, so multi-lane / multi-level
-    /// runs can aggregate per-lane statistics without field-by-field code
-    /// in callers. Merging a `CacheStats::default()` is the identity.
+    /// Adds `other`'s counters into `self`, so multi-lane / multi-level /
+    /// multi-scenario runs can aggregate statistics without field-by-field
+    /// code in callers — the two-level backend merges its L1s and L2 this
+    /// way, whether the run came from a TOML scenario file, a JSON one, or
+    /// a checkpointed sweep. Merging a `CacheStats::default()` is the
+    /// identity:
+    ///
+    /// ```
+    /// use autocat_cache::CacheStats;
+    ///
+    /// let mut total = CacheStats { hits: 3, misses: 1, ..CacheStats::default() };
+    /// total.merge(&CacheStats { hits: 2, evictions: 5, ..CacheStats::default() });
+    /// total.merge(&CacheStats::default()); // identity
+    /// assert_eq!((total.hits, total.misses, total.evictions), (5, 1, 5));
+    /// ```
     pub fn merge(&mut self, other: &CacheStats) {
         self.hits += other.hits;
         self.misses += other.misses;
@@ -344,14 +356,28 @@ impl Cache {
         std::mem::take(&mut self.events)
     }
 
+    /// Reseeds every set's replacement-policy RNG (random replacement
+    /// only; deterministic policies ignore it), deriving a distinct
+    /// per-set stream the same way construction derives one from
+    /// `policy_seed`. Exposed through
+    /// [`CacheBackend::reseed`](crate::CacheBackend::reseed) so episode
+    /// resets make the cache's full state a function of the episode RNG
+    /// stream.
+    pub fn reseed_policy(&mut self, seed: u64) {
+        for (s, set) in self.sets.iter_mut().enumerate() {
+            set.policy.reseed(seed.wrapping_add(s as u64));
+        }
+    }
+
     /// Clears contents, statistics, events and prefetcher state, keeping
     /// the configuration (and the random-policy RNG stream).
     pub fn reset(&mut self) {
         for (s, set) in self.sets.iter_mut().enumerate() {
             let fresh = CacheSetState::new(&self.config, s);
-            // Preserve the random policy's RNG position across resets so
-            // episodes see fresh randomness; deterministic policies are
-            // stateless after reset anyway.
+            // Preserve the random policy's RNG position across resets
+            // (environments reseed it explicitly via `reseed_policy`
+            // before resetting); deterministic policies are stateless
+            // after reset anyway.
             let policy = match (&set.policy, fresh.policy) {
                 (SetPolicy::Random(_), SetPolicy::Random(_)) => set.policy.clone(),
                 (_, f) => f,

@@ -171,6 +171,18 @@ impl TwoLevelCache {
         }
         self.l2.reset();
     }
+
+    /// Reseeds the replacement-policy RNGs of every level (random
+    /// replacement only), deriving a distinct stream per cache. See
+    /// [`Cache::reseed_policy`].
+    pub fn reseed_policy(&mut self, seed: u64) {
+        for (core, l1) in self.l1s.iter_mut().enumerate() {
+            // Offset by a large odd stride so per-set streams (seed + set)
+            // of different caches cannot collide for realistic set counts.
+            l1.reseed_policy(seed.wrapping_add((core as u64 + 1).wrapping_mul(0x9E37_79B9)));
+        }
+        self.l2.reseed_policy(seed);
+    }
 }
 
 #[cfg(test)]

@@ -93,6 +93,17 @@ impl SetPolicy {
         }
     }
 
+    /// Reseeds the policy's RNG stream (random replacement only; a no-op
+    /// for deterministic policies). Environments call this through
+    /// [`CacheBackend::reseed`](crate::CacheBackend::reseed) at episode
+    /// start so a cache's full state is a function of the episode RNG
+    /// stream — the property trainer checkpoints rely on.
+    pub fn reseed(&mut self, seed: u64) {
+        if let SetPolicy::Random(s) = self {
+            s.rng = StdRng::seed_from_u64(seed);
+        }
+    }
+
     /// Returns the LRU age ordering (0 = most recent) when the policy keeps
     /// one; used by the Fig. 4 cache-state traces and by tests.
     pub fn lru_ages(&self) -> Option<Vec<usize>> {

@@ -37,7 +37,30 @@ impl Verdict {
 /// [`Verdict::Clean`] for events that do not themselves trip it, so an
 /// environment can penalize per offending event rather than per step.
 /// [`Monitor::score`] exposes the detector's running statistic (miss
-/// count, max autocorrelation, SVM decision value) for reporting.
+/// count, max autocorrelation, SVM decision value) for reporting, and
+/// [`Monitor::reset`] clears all accumulated state for a new episode:
+///
+/// ```
+/// use autocat_cache::{CacheEvent, Domain};
+/// use autocat_detect::{MissCountDetector, Monitor, Verdict};
+///
+/// let miss = |domain| CacheEvent::Access { domain, addr: 0, set: 0, hit: false };
+/// let mut monitor: Box<dyn Monitor> = Box::new(MissCountDetector::new(2));
+///
+/// // Attacker misses never implicate the victim's hit rate.
+/// assert_eq!(monitor.observe(&miss(Domain::Attacker)), Verdict::Clean);
+/// // The first victim miss is below the threshold of 2...
+/// assert_eq!(monitor.observe(&miss(Domain::Victim)), Verdict::Clean);
+/// // ...the second trips it, and the verdict blames exactly that event.
+/// assert_eq!(monitor.observe(&miss(Domain::Victim)), Verdict::Attack);
+/// assert!(monitor.observe(&miss(Domain::Victim)).is_attack());
+/// assert_eq!(monitor.score(), 3.0, "running statistic: victim misses seen");
+///
+/// // A new episode starts clean.
+/// monitor.reset();
+/// assert_eq!(monitor.score(), 0.0);
+/// assert_eq!(monitor.observe(&miss(Domain::Victim)), Verdict::Clean);
+/// ```
 pub trait Monitor: std::fmt::Debug + Send {
     /// Feeds one cache event, returning the verdict it triggers.
     fn observe(&mut self, event: &CacheEvent) -> Verdict;

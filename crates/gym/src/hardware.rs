@@ -241,9 +241,15 @@ impl CacheBackend for SimulatedProcessor {
         true
     }
 
-    /// Starts a fresh measurement run: new noise stream, cold set.
+    /// Starts a fresh measurement run: new noise stream, cold set, and —
+    /// when the hidden model uses random replacement — a fresh policy
+    /// stream (derived from `seed`, offset so it never aliases the noise
+    /// stream), keeping the backend's full state a function of the
+    /// episode RNG stream like the non-blackbox backends.
     fn reseed(&mut self, seed: u64) {
         self.rng = StdRng::seed_from_u64(seed);
+        self.cache
+            .reseed_policy(seed.wrapping_add(0x9E37_79B9_7F4A_7C15));
         self.cache.reset();
         self.accesses = 0;
     }
@@ -265,6 +271,32 @@ mod tests {
         assert_eq!(HardwareProfile::SkylakeL2.policy_label(), "N.O.D.");
         assert_eq!(HardwareProfile::KabylakeL3W8.attacker_range(), (0, 15));
         assert_eq!(HardwareProfile::table3_rows().len(), 7);
+    }
+
+    /// After `reseed`, a random-replacement blackbox's behavior must
+    /// depend only on the new seed, not on prior episodes' draws — the
+    /// same checkpoint-resume property the non-blackbox backends have.
+    #[test]
+    fn reseed_covers_the_hidden_random_policy() {
+        use autocat_cache::PolicyKind;
+        let make = || {
+            SimulatedProcessor::custom(
+                CacheConfig::fully_associative(4).with_policy(PolicyKind::Random),
+                NoiseModel::none(),
+                1,
+            )
+        };
+        let drive = |p: &mut SimulatedProcessor, n: u64| -> Vec<(bool, bool)> {
+            (0..n)
+                .map(|i| CacheBackend::access(p, (i * 5) % 11, Domain::Attacker))
+                .collect()
+        };
+        let (mut a, mut b) = (make(), make());
+        drive(&mut a, 50); // burn a different number of policy draws
+        drive(&mut b, 13);
+        CacheBackend::reseed(&mut a, 77);
+        CacheBackend::reseed(&mut b, 77);
+        assert_eq!(drive(&mut a, 60), drive(&mut b, 60));
     }
 
     #[test]

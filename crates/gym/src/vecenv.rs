@@ -229,6 +229,35 @@ impl<E: Environment> VecEnv<E> {
         out
     }
 
+    /// Snapshots every lane's RNG state (for trainer checkpoints).
+    /// Restore with [`VecEnv::restore_rng_states`].
+    pub fn rng_states(&self) -> Vec<[u64; 4]> {
+        self.lanes.iter().map(|lane| lane.rng.state()).collect()
+    }
+
+    /// Restores per-lane RNG states captured by [`VecEnv::rng_states`].
+    ///
+    /// Episode state is *not* restored — checkpoints are taken at update
+    /// boundaries, where the next collection resets every lane anyway, so
+    /// the lane RNG streams are the only state that must survive.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `states` does not have one entry per lane.
+    pub fn restore_rng_states(&mut self, states: &[[u64; 4]]) -> Result<(), String> {
+        if states.len() != self.lanes.len() {
+            return Err(format!(
+                "checkpoint has {} lane RNG states, VecEnv has {} lanes",
+                states.len(),
+                self.lanes.len()
+            ));
+        }
+        for (lane, &state) in self.lanes.iter_mut().zip(states) {
+            lane.rng = StdRng::from_state(state);
+        }
+        Ok(())
+    }
+
     /// Resets every lane, discarding any episodes in progress (the scalar
     /// rollout loop did the same at the start of each collection).
     pub fn reset_all(&mut self, rng: &mut StdRng) {
@@ -431,6 +460,35 @@ mod tests {
             }
         }
         assert!(any_diverged, "lanes must explore independently");
+    }
+
+    #[test]
+    fn restored_rng_states_resume_trajectories_at_an_update_boundary() {
+        // The checkpoint premise: a fresh VecEnv built from the same
+        // prototype env, with lane RNG states restored, behaves exactly
+        // like the original from the next reset_all onward.
+        let mut original = VecEnv::new(4, game(), 17).unwrap();
+        let mut master_a = rng(2);
+        original.reset_all(&mut master_a);
+        drive(&mut original, 150, &mut master_a);
+
+        let mut restored = VecEnv::new(4, game(), 0).unwrap();
+        restored.restore_rng_states(&original.rng_states()).unwrap();
+        let mut master_b = StdRng::from_state(master_a.state());
+
+        original.reset_all(&mut master_a);
+        restored.reset_all(&mut master_b);
+        assert_eq!(
+            drive(&mut original, 200, &mut master_a),
+            drive(&mut restored, 200, &mut master_b)
+        );
+    }
+
+    #[test]
+    fn restore_rejects_a_lane_count_mismatch() {
+        let mut venv = VecEnv::new(2, game(), 0).unwrap();
+        let states = venv.rng_states();
+        assert!(venv.restore_rng_states(&states[..1]).is_err());
     }
 
     #[test]

@@ -16,6 +16,22 @@
 //! * [`optim::Adam`] — the Adam optimizer (per-parameter moments).
 //! * [`dist::Categorical`] — sampling, log-probabilities and entropy for the
 //!   discrete action distribution, plus the analytic gradients PPO needs.
+//! * [`value`] — the workspace's hand-rolled TOML/JSON document model
+//!   (the vendored `serde` is a no-op marker), shared by scenario files,
+//!   checkpoints and sweep reports.
+//! * [`state`] — backbone-agnostic parameter/optimizer (de)serialization:
+//!   any [`models::PolicyValueNet`] checkpoints through its `visit_params`
+//!   walk, bit-exactly, with no per-model code.
+//!
+//! # Design notes
+//!
+//! Everything is `f32`, dense and row-major; [`Matrix::matmul`] is
+//! register-blocked (see [`Matrix::MM_ROW_BLOCK`]) because PPO rollout
+//! throughput on this workload is dominated by small-batch policy
+//! forwards. Backward passes are hand-derived per layer; there is no tape
+//! or graph. Determinism is a hard requirement across the workspace —
+//! same seed, same trajectories, same checkpoints — so nothing in this
+//! crate reads wall-clock time, thread identity or global RNG state.
 //!
 //! # Example
 //!
@@ -39,6 +55,8 @@ pub mod matrix;
 pub mod models;
 pub mod optim;
 pub mod param;
+pub mod state;
+pub mod value;
 
 pub use dist::Categorical;
 pub use matrix::Matrix;

@@ -38,6 +38,19 @@ impl Adam {
         self.t
     }
 
+    /// Rebuilds an optimizer from checkpointed state: explicit
+    /// hyper-parameters plus the bias-correction step counter (see
+    /// [`crate::state::adam_to_value`]).
+    pub fn restore(lr: f32, beta1: f32, beta2: f32, eps: f32, steps: u64) -> Self {
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: steps,
+        }
+    }
+
     /// Begins a new update step (increments the bias-correction counter).
     ///
     /// Call once per optimizer step, before [`Adam::update_param`] is applied

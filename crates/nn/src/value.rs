@@ -1,12 +1,19 @@
 //! A tiny self-describing document model with TOML and JSON codecs.
 //!
 //! The build environment vendors `serde` as a no-op marker (no
-//! `serde_json` / `toml` in the tree), so scenario files go through this
-//! hand-rolled value layer instead: one [`Value`] tree, two textual
-//! codecs. The TOML codec covers the subset scenario files need —
-//! dotted `[section.headers]`, `key = value` pairs, single-line arrays,
-//! inline tables, strings, integers, floats and booleans — and the JSON
-//! codec is complete for the same tree.
+//! `serde_json` / `toml` in the tree), so every on-disk artifact in the
+//! workspace goes through this hand-rolled value layer instead: one
+//! [`Value`] tree, two textual codecs. It serves scenario files
+//! (`autocat-scenario` re-exports this module as `autocat_scenario::value`),
+//! trainer checkpoints (`autocat_ppo::checkpoint`) and sweep reports. The
+//! TOML codec covers the subset those files need — dotted
+//! `[section.headers]`, `key = value` pairs, single-line arrays, inline
+//! tables, strings, integers, floats and booleans — and the JSON codec is
+//! complete for the same tree.
+//!
+//! Floats are emitted with Rust's shortest round-trip formatting of the
+//! `f64` widening, so an `f32` written through [`to_json`] parses back to
+//! the identical bit pattern — the property checkpoint files rely on.
 
 use std::collections::BTreeMap;
 
@@ -129,6 +136,30 @@ impl Value {
 /// Fetches a required key from a table map.
 pub fn req<'a>(table: &'a BTreeMap<String, Value>, key: &str) -> Result<&'a Value, String> {
     table.get(key).ok_or_else(|| format!("missing key `{key}`"))
+}
+
+/// Encodes a `u64` field: as an integer when it fits `i64`, else as a
+/// decimal string, so huge values (hash-derived seeds, raw RNG state
+/// words) never wrap negative and every saved file stays loadable.
+pub fn u64_value(x: u64) -> Value {
+    match i64::try_from(x) {
+        Ok(i) => Value::Int(i),
+        Err(_) => Value::Str(x.to_string()),
+    }
+}
+
+/// Decodes a `u64` written by [`u64_value`] (integer or decimal string).
+///
+/// # Errors
+///
+/// Returns an error on negative integers or non-numeric strings.
+pub fn u64_from(value: &Value) -> Result<u64, String> {
+    match value {
+        Value::Str(s) => s
+            .parse::<u64>()
+            .map_err(|_| format!("expected unsigned integer, found `{s}`")),
+        other => other.as_u64(),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -593,6 +624,41 @@ value = 3
         assert!(from_toml("ok = 1\nbad = [1, \n")
             .unwrap_err()
             .contains("line 2"));
+    }
+
+    #[test]
+    fn u64_helpers_cover_the_full_range() {
+        for x in [0u64, 1, i64::MAX as u64, i64::MAX as u64 + 1, u64::MAX] {
+            let v = u64_value(x);
+            assert_eq!(u64_from(&v).unwrap(), x);
+            // And through a full JSON round trip.
+            let back = from_json(&to_json(&v)).unwrap();
+            assert_eq!(u64_from(&back).unwrap(), x);
+        }
+        assert!(u64_from(&Value::Int(-1)).is_err());
+        assert!(u64_from(&Value::Str("nope".into())).is_err());
+    }
+
+    #[test]
+    fn f32_floats_round_trip_bit_exactly_through_json() {
+        // Checkpoints depend on this: f32 → f64 widening is exact, the
+        // shortest-round-trip f64 text is exact, and the f64 → f32 cast
+        // back recovers the original bits.
+        let samples = [
+            0.0f32,
+            -0.0,
+            1.0,
+            std::f32::consts::PI,
+            1.0e-38,
+            3.4e38,
+            -7.218_641e-5,
+            f32::MIN_POSITIVE,
+        ];
+        for &x in &samples {
+            let v = Value::Float(f64::from(x));
+            let back = from_json(&to_json(&v)).unwrap();
+            assert_eq!(back.as_f32().unwrap().to_bits(), x.to_bits(), "{x}");
+        }
     }
 
     #[test]

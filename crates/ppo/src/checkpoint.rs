@@ -1,0 +1,474 @@
+//! Trainer checkpoints: weights, optimizer moments and RNG state, with a
+//! bit-exact resume guarantee.
+//!
+//! [`Trainer::save_checkpoint`] captures everything training depends on —
+//! network parameters with their Adam moments, the optimizer step counter,
+//! the master RNG, every VecEnv lane RNG, the step counter and the
+//! trailing episode window — as a [`Value`] tree written out as JSON.
+//! [`Trainer::load_checkpoint`] rebuilds a trainer from the file plus a
+//! freshly-built prototype environment.
+//!
+//! # The bit-exact resume guarantee
+//!
+//! A loaded trainer continues training **bit-for-bit identically** to the
+//! trainer that saved the checkpoint (and kept running), provided the
+//! caller passes an environment built from the same configuration. This
+//! works because checkpoints are taken at update boundaries and rollout
+//! collection starts by resetting every lane: after a reset, an
+//! environment's entire state is a function of the RNG stream that drove
+//! it (stochastic backends are explicitly reseeded from that stream, see
+//! `CacheBackend::reseed` in `autocat-cache`), so restoring the RNG
+//! states restores the trajectory. Mid-episode environment state is the
+//! one thing deliberately *not* stored — the next collection discards it
+//! on both sides of the save.
+//!
+//! The float codec is exact (each `f32` is written as its `f64` widening
+//! with shortest-round-trip formatting), so no precision is lost through
+//! the text file.
+//!
+//! One caveat: loading always rebuilds a *homogeneous* VecEnv by cloning
+//! the prototype into every lane. A trainer built over heterogeneous lanes
+//! ([`Trainer::from_vecenv`]) can save, but the resume guarantee only
+//! covers trainers whose lanes share one configuration (the
+//! [`Trainer::new`] path — which is what scenarios and the sweep harness
+//! use).
+
+use crate::trainer::{Backbone, PpoConfig, Trainer};
+use autocat_gym::{Environment, VecEnv};
+use autocat_nn::state::{adam_from_value, adam_to_value, load_params, params_to_value};
+use autocat_nn::value::{self, req, u64_from, u64_value, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::path::Path;
+
+/// Format version written into every checkpoint file.
+pub const CHECKPOINT_VERSION: i64 = 1;
+
+/// Encodes a [`Backbone`] as a `kind`-discriminated table (shared with
+/// scenario files).
+pub fn backbone_to_value(backbone: &Backbone) -> Value {
+    let mut table = Value::table();
+    match backbone {
+        Backbone::Mlp { hidden } => {
+            table.set("kind", Value::Str("mlp".into()));
+            table.set(
+                "hidden",
+                Value::Array(hidden.iter().map(|h| Value::Int(*h as i64)).collect()),
+            );
+        }
+        Backbone::Transformer {
+            d_model,
+            num_heads,
+            ff_dim,
+        } => {
+            table.set("kind", Value::Str("transformer".into()));
+            table.set("d_model", Value::Int(*d_model as i64));
+            table.set("num_heads", Value::Int(*num_heads as i64));
+            table.set("ff_dim", Value::Int(*ff_dim as i64));
+        }
+    }
+    table
+}
+
+/// Decodes a [`Backbone`] written by [`backbone_to_value`].
+///
+/// # Errors
+///
+/// Returns a message naming the missing or mistyped field.
+pub fn backbone_from_value(value: &Value) -> Result<Backbone, String> {
+    let table = value.as_table()?;
+    match req(table, "kind")?.as_str()? {
+        "mlp" => Ok(Backbone::Mlp {
+            hidden: req(table, "hidden")?
+                .as_array()?
+                .iter()
+                .map(Value::as_usize)
+                .collect::<Result<_, _>>()?,
+        }),
+        "transformer" => Ok(Backbone::Transformer {
+            d_model: req(table, "d_model")?.as_usize()?,
+            num_heads: req(table, "num_heads")?.as_usize()?,
+            ff_dim: req(table, "ff_dim")?.as_usize()?,
+        }),
+        other => Err(format!("unknown backbone kind `{other}`")),
+    }
+}
+
+/// Encodes a [`PpoConfig`] as a flat table (shared with scenario files).
+pub fn ppo_config_to_value(ppo: &PpoConfig) -> Value {
+    let mut table = Value::table();
+    table.set("lr", Value::Float(f64::from(ppo.lr)));
+    table.set("gamma", Value::Float(f64::from(ppo.gamma)));
+    table.set("lambda", Value::Float(f64::from(ppo.lambda)));
+    table.set("clip", Value::Float(f64::from(ppo.clip)));
+    table.set("entropy_coef", Value::Float(f64::from(ppo.entropy_coef)));
+    table.set("value_coef", Value::Float(f64::from(ppo.value_coef)));
+    table.set("horizon", Value::Int(ppo.horizon as i64));
+    table.set(
+        "epochs_per_update",
+        Value::Int(ppo.epochs_per_update as i64),
+    );
+    table.set("minibatch", Value::Int(ppo.minibatch as i64));
+    table.set("max_grad_norm", Value::Float(f64::from(ppo.max_grad_norm)));
+    table.set("steps_per_epoch", Value::Int(ppo.steps_per_epoch as i64));
+    table.set("num_lanes", Value::Int(ppo.num_lanes as i64));
+    table
+}
+
+/// Decodes a [`PpoConfig`] written by [`ppo_config_to_value`].
+///
+/// # Errors
+///
+/// Returns a message naming the missing or mistyped field.
+pub fn ppo_config_from_value(value: &Value) -> Result<PpoConfig, String> {
+    let table = value.as_table()?;
+    Ok(PpoConfig {
+        lr: req(table, "lr")?.as_f32()?,
+        gamma: req(table, "gamma")?.as_f32()?,
+        lambda: req(table, "lambda")?.as_f32()?,
+        clip: req(table, "clip")?.as_f32()?,
+        entropy_coef: req(table, "entropy_coef")?.as_f32()?,
+        value_coef: req(table, "value_coef")?.as_f32()?,
+        horizon: req(table, "horizon")?.as_usize()?,
+        epochs_per_update: req(table, "epochs_per_update")?.as_usize()?,
+        minibatch: req(table, "minibatch")?.as_usize()?,
+        max_grad_norm: req(table, "max_grad_norm")?.as_f32()?,
+        steps_per_epoch: req(table, "steps_per_epoch")?.as_usize()?,
+        num_lanes: req(table, "num_lanes")?.as_usize()?,
+    })
+}
+
+fn rng_state_to_value(state: [u64; 4]) -> Value {
+    Value::Array(state.iter().map(|&w| u64_value(w)).collect())
+}
+
+fn rng_state_from_value(value: &Value) -> Result<[u64; 4], String> {
+    let words = value.as_array()?;
+    if words.len() != 4 {
+        return Err(format!("RNG state needs 4 words, found {}", words.len()));
+    }
+    let mut state = [0u64; 4];
+    for (slot, word) in state.iter_mut().zip(words) {
+        *slot = u64_from(word)?;
+    }
+    Ok(state)
+}
+
+impl<E: Environment + Send> Trainer<E> {
+    /// Serializes the trainer's full training state as a [`Value`] tree.
+    ///
+    /// Takes `&mut` because parameter visitation does; the trainer is not
+    /// modified.
+    pub fn to_checkpoint_value(&mut self) -> Value {
+        let mut net_table = Value::table();
+        net_table.set("obs_dim", Value::Int(self.net.obs_dim() as i64));
+        net_table.set("num_actions", Value::Int(self.net.num_actions() as i64));
+
+        let recent = Value::Array(
+            self.recent
+                .iter()
+                .map(|&(ret, len, correct)| {
+                    let mut episode = Value::table();
+                    episode.set("ret", Value::Float(f64::from(ret)));
+                    episode.set("len", Value::Int(len as i64));
+                    episode.set("correct", Value::Bool(correct));
+                    episode
+                })
+                .collect(),
+        );
+
+        let mut table = Value::table();
+        table.set("version", Value::Int(CHECKPOINT_VERSION));
+        table.set("backbone", backbone_to_value(&self.backbone));
+        table.set("config", ppo_config_to_value(&self.config));
+        table.set("net", net_table);
+        table.set("total_steps", u64_value(self.total_steps));
+        table.set("recent", recent);
+        table.set("recent_cap", Value::Int(self.recent_cap as i64));
+        table.set("adam", adam_to_value(&self.adam));
+        table.set("rng", rng_state_to_value(self.rng.state()));
+        table.set(
+            "lane_rngs",
+            Value::Array(
+                self.venv
+                    .rng_states()
+                    .into_iter()
+                    .map(rng_state_to_value)
+                    .collect(),
+            ),
+        );
+        table.set("params", params_to_value(self.net.as_mut()));
+        table
+    }
+
+    /// Writes the checkpoint as JSON to `path`, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be written.
+    pub fn save_checkpoint(&mut self, path: impl AsRef<Path>) -> Result<(), String> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+        }
+        let json = value::to_json(&self.to_checkpoint_value());
+        std::fs::write(path, json).map_err(|e| format!("writing {}: {e}", path.display()))
+    }
+}
+
+impl<E: Environment + Clone + Send> Trainer<E> {
+    /// Rebuilds a trainer from a checkpoint [`Value`] tree and a prototype
+    /// environment built from the **same configuration** the saved trainer
+    /// used (the checkpoint validates the observation/action dimensions
+    /// against it). See the [module docs](self) for the resume guarantee.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on a version, dimension or parameter mismatch, or
+    /// malformed input.
+    pub fn from_checkpoint_value(value: &Value, env: E) -> Result<Self, String> {
+        let table = value.as_table()?;
+        let version = req(table, "version")?.as_i64()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "unsupported checkpoint version {version} (this build reads {CHECKPOINT_VERSION})"
+            ));
+        }
+        let backbone = backbone_from_value(req(table, "backbone")?)?;
+        let config = ppo_config_from_value(req(table, "config")?)?;
+
+        let net_table = req(table, "net")?.as_table()?;
+        let saved_obs = req(net_table, "obs_dim")?.as_usize()?;
+        let saved_actions = req(net_table, "num_actions")?.as_usize()?;
+        if (env.obs_dim(), env.num_actions()) != (saved_obs, saved_actions) {
+            return Err(format!(
+                "environment has (obs_dim, num_actions) = ({}, {}), checkpoint was trained \
+                 on ({saved_obs}, {saved_actions}) — pass an environment built from the \
+                 scenario the checkpoint came from",
+                env.obs_dim(),
+                env.num_actions()
+            ));
+        }
+
+        let mut venv = VecEnv::new(config.num_lanes.max(1), env, 0)?;
+        let lane_states = req(table, "lane_rngs")?
+            .as_array()?
+            .iter()
+            .map(rng_state_from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        venv.restore_rng_states(&lane_states)?;
+
+        // The architecture comes from the backbone; the init draws are
+        // immediately overwritten by the stored parameters.
+        let mut init_rng = StdRng::seed_from_u64(0);
+        let mut net = backbone.build(venv.lane(0), &mut init_rng);
+        load_params(net.as_mut(), req(table, "params")?)?;
+
+        let recent = req(table, "recent")?
+            .as_array()?
+            .iter()
+            .map(|episode| {
+                let episode = episode.as_table()?;
+                Ok((
+                    req(episode, "ret")?.as_f32()?,
+                    req(episode, "len")?.as_usize()?,
+                    req(episode, "correct")?.as_bool()?,
+                ))
+            })
+            .collect::<Result<VecDeque<_>, String>>()?;
+
+        Ok(Self {
+            venv,
+            net,
+            backbone,
+            adam: adam_from_value(req(table, "adam")?)?,
+            config,
+            rng: StdRng::from_state(rng_state_from_value(req(table, "rng")?)?),
+            total_steps: u64_from(req(table, "total_steps")?)?,
+            recent,
+            recent_cap: req(table, "recent_cap")?.as_usize()?,
+        })
+    }
+
+    /// Loads a checkpoint written by [`Trainer::save_checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be read or does not match the
+    /// environment.
+    pub fn load_checkpoint(path: impl AsRef<Path>, env: E) -> Result<Self, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let parsed =
+            value::from_json(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
+        Self::from_checkpoint_value(&parsed, env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use autocat_cache::PolicyKind;
+    use autocat_gym::{env::CacheGuessingGame, CacheSpec, EnvConfig};
+
+    fn env() -> CacheGuessingGame {
+        CacheGuessingGame::new(EnvConfig::flush_reload_fa4().with_window(8)).unwrap()
+    }
+
+    fn random_policy_env() -> CacheGuessingGame {
+        let mut cfg = EnvConfig::flush_reload_fa4().with_window(8);
+        match &mut cfg.cache {
+            CacheSpec::Single(c) => c.policy = PolicyKind::Random,
+            _ => unreachable!("flush_reload_fa4 is single-level"),
+        }
+        CacheGuessingGame::new(cfg).unwrap()
+    }
+
+    fn trainer(env: CacheGuessingGame, lanes: usize, seed: u64) -> Trainer<CacheGuessingGame> {
+        Trainer::new(
+            env,
+            Backbone::Mlp { hidden: vec![16] },
+            PpoConfig {
+                horizon: 128,
+                minibatch: 64,
+                epochs_per_update: 2,
+                num_lanes: lanes,
+                ..PpoConfig::default()
+            },
+            seed,
+        )
+    }
+
+    fn ckpt_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir()
+            .join("autocat-ppo-ckpt-tests")
+            .join(name)
+    }
+
+    /// Train → save → (keep training | load and train): both sides must
+    /// produce bit-identical update statistics, weights and greedy
+    /// evaluations. This is the resume guarantee of the module docs.
+    fn assert_bit_exact_resume(make_env: fn() -> CacheGuessingGame, lanes: usize, name: &str) {
+        let mut original = trainer(make_env(), lanes, 11);
+        for _ in 0..2 {
+            original.train_update();
+        }
+        let path = ckpt_path(name);
+        original.save_checkpoint(&path).unwrap();
+        let mut resumed = Trainer::load_checkpoint(&path, make_env()).unwrap();
+
+        assert_eq!(resumed.total_steps(), original.total_steps());
+        assert_eq!(resumed.avg_return(), original.avg_return());
+        for round in 0..3 {
+            let a = original.train_update();
+            let b = resumed.train_update();
+            assert_eq!(a, b, "update {round} diverged after resume");
+        }
+        // Greedy extraction must agree too (same weights, same RNG state).
+        let (env_a, net_a, rng_a) = original.parts_mut();
+        let seq_a = eval::extract_sequence(env_a, net_a, rng_a);
+        let (env_b, net_b, rng_b) = resumed.parts_mut();
+        let seq_b = eval::extract_sequence(env_b, net_b, rng_b);
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn resume_is_bit_exact_single_lane() {
+        assert_bit_exact_resume(env, 1, "single_lane.ckpt.json");
+    }
+
+    #[test]
+    fn resume_is_bit_exact_multi_lane() {
+        assert_bit_exact_resume(env, 4, "multi_lane.ckpt.json");
+    }
+
+    #[test]
+    fn resume_is_bit_exact_on_a_random_replacement_cache() {
+        // Random replacement draws from the cache's internal RNG; episode
+        // resets reseed it from the episode stream (CacheBackend::reseed),
+        // which is what makes this hold.
+        assert_bit_exact_resume(random_policy_env, 2, "random_policy.ckpt.json");
+    }
+
+    #[test]
+    fn loaded_policy_evaluates_identically_to_the_in_memory_one() {
+        // The satellite requirement: train N steps → save → load → greedy
+        // eval actions identical to the in-memory policy's.
+        let mut original = trainer(env(), 1, 3);
+        for _ in 0..3 {
+            original.train_update();
+        }
+        let path = ckpt_path("eval_identical.ckpt.json");
+        original.save_checkpoint(&path).unwrap();
+        let mut loaded = Trainer::load_checkpoint(&path, env()).unwrap();
+
+        use autocat_gym::env::Secret;
+        for secret in [Secret::Addr(0), Secret::Addr(1)] {
+            let (env_a, net_a, rng_a) = original.parts_mut();
+            env_a.force_secret(Some(secret));
+            let seq_a = eval::extract_sequence(env_a, net_a, rng_a);
+            env_a.force_secret(None);
+            let (env_b, net_b, rng_b) = loaded.parts_mut();
+            env_b.force_secret(Some(secret));
+            let seq_b = eval::extract_sequence(env_b, net_b, rng_b);
+            env_b.force_secret(None);
+            assert_eq!(seq_a.actions, seq_b.actions, "secret {secret:?}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_value_round_trips_exactly() {
+        let mut t = trainer(env(), 2, 9);
+        t.train_update();
+        let saved = t.to_checkpoint_value();
+        let reparsed = value::from_json(&value::to_json(&saved)).unwrap();
+        assert_eq!(reparsed, saved, "JSON text must round-trip the tree");
+        let mut loaded = Trainer::from_checkpoint_value(&reparsed, env()).unwrap();
+        assert_eq!(loaded.to_checkpoint_value(), saved);
+    }
+
+    #[test]
+    fn mismatched_environment_is_rejected() {
+        let mut t = trainer(env(), 1, 0);
+        t.train_update();
+        let saved = t.to_checkpoint_value();
+        let other = CacheGuessingGame::new(EnvConfig::prime_probe_dm4()).unwrap();
+        let err = Trainer::<CacheGuessingGame>::from_checkpoint_value(&saved, other)
+            .err()
+            .expect("dimension mismatch must be rejected");
+        assert!(err.contains("obs_dim"), "{err}");
+    }
+
+    #[test]
+    fn future_versions_are_rejected() {
+        let mut t = trainer(env(), 1, 0);
+        let mut saved = t.to_checkpoint_value();
+        saved.set("version", Value::Int(CHECKPOINT_VERSION + 1));
+        let err = Trainer::from_checkpoint_value(&saved, env())
+            .err()
+            .expect("future versions must be rejected");
+        assert!(err.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn backbone_and_ppo_config_codecs_round_trip() {
+        for backbone in [
+            Backbone::default_mlp(),
+            Backbone::small_transformer(),
+            Backbone::Mlp { hidden: vec![7] },
+        ] {
+            let back = backbone_from_value(&backbone_to_value(&backbone)).unwrap();
+            assert_eq!(back, backbone);
+        }
+        let ppo = PpoConfig::small_env().with_lanes(6);
+        assert_eq!(
+            ppo_config_from_value(&ppo_config_to_value(&ppo)).unwrap(),
+            ppo
+        );
+    }
+}

@@ -11,9 +11,18 @@
 //! * [`eval`] — greedy evaluation and deterministic replay used to extract
 //!   attack sequences from a converged policy ("Once the sum of the reward
 //!   within an episode is converged to a positive value, we use
-//!   deterministic replay to extract the attack sequences").
+//!   deterministic replay to extract the attack sequences"),
+//! * [`checkpoint`] — trainer persistence: weights, Adam moments and every
+//!   RNG stream, with a **bit-exact resume guarantee** (a loaded trainer
+//!   continues identically to the one that saved, see the
+//!   [module docs](checkpoint)). The `sweep` harness in `autocat-bench`
+//!   builds its train-once/eval-everywhere pipeline on this.
 //!
-//! # Example
+//! Determinism is load-bearing throughout: a `(scenario, seed)` pair fixes
+//! the trajectory stream, the extracted attack and the checkpoint bytes,
+//! which is what makes the paper's Table IV reproducible from artifacts.
+//!
+//! # Example: train, checkpoint, resume
 //!
 //! ```no_run
 //! use autocat_gym::{EnvConfig, env::CacheGuessingGame};
@@ -23,8 +32,15 @@
 //! let mut trainer = Trainer::new(env, Backbone::default_mlp(), PpoConfig::default(), 0);
 //! let result = trainer.train_until(0.8, 200_000);
 //! println!("converged: {:?}", result.converged_at_steps);
+//! trainer.save_checkpoint("fr.ckpt.json").unwrap();
+//!
+//! // Later (or elsewhere): rebuild the environment, load, keep training.
+//! let env = CacheGuessingGame::new(EnvConfig::flush_reload_fa4()).unwrap();
+//! let mut resumed = Trainer::load_checkpoint("fr.ckpt.json", env).unwrap();
+//! resumed.train_until(0.9, 400_000);
 //! ```
 
+pub mod checkpoint;
 pub mod eval;
 pub mod rollout;
 pub mod trainer;

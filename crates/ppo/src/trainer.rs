@@ -133,7 +133,11 @@ impl Backbone {
         }
     }
 
-    fn build(&self, env: &impl Environment, rng: &mut StdRng) -> Box<dyn PolicyValueNet> {
+    pub(crate) fn build(
+        &self,
+        env: &impl Environment,
+        rng: &mut StdRng,
+    ) -> Box<dyn PolicyValueNet> {
         match self {
             Backbone::Mlp { hidden } => {
                 let cfg =
@@ -189,14 +193,16 @@ pub struct TrainResult {
 /// policy/value network. Rollouts run one batched forward per step across
 /// all lanes; `PpoConfig::num_lanes` controls the width.
 pub struct Trainer<E: Environment> {
-    venv: VecEnv<E>,
-    net: Box<dyn PolicyValueNet>,
-    adam: Adam,
-    config: PpoConfig,
-    rng: StdRng,
-    total_steps: u64,
-    recent: VecDeque<(f32, usize, bool)>,
-    recent_cap: usize,
+    pub(crate) venv: VecEnv<E>,
+    pub(crate) net: Box<dyn PolicyValueNet>,
+    /// Kept so checkpoints can rebuild the same network architecture.
+    pub(crate) backbone: Backbone,
+    pub(crate) adam: Adam,
+    pub(crate) config: PpoConfig,
+    pub(crate) rng: StdRng,
+    pub(crate) total_steps: u64,
+    pub(crate) recent: VecDeque<(f32, usize, bool)>,
+    pub(crate) recent_cap: usize,
 }
 
 impl<E: Environment + Clone + Send> Trainer<E> {
@@ -211,6 +217,7 @@ impl<E: Environment + Clone + Send> Trainer<E> {
         Self {
             venv,
             net,
+            backbone,
             adam,
             config,
             rng,
@@ -230,6 +237,7 @@ impl<E: Environment + Send> Trainer<E> {
         Self {
             venv,
             net,
+            backbone,
             adam,
             config,
             rng,

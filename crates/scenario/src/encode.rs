@@ -4,36 +4,22 @@
 //! (`{ kind = "victim-miss", threshold = 1 }`), simple enums as slug
 //! strings (`policy = "plru"`), so hand-written TOML stays readable.
 
-use crate::value::{req, Value};
+use crate::value::{req, u64_from, u64_value, Value};
 use crate::{Scenario, TrainSpec};
 use autocat_cache::mapping::AddressMapping;
 use autocat_cache::{CacheConfig, PolicyKind, PrefetcherKind, TwoLevelConfig};
 use autocat_detect::MonitorSpec;
 use autocat_gym::{CacheSpec, EnvConfig, HardwareProfile, RewardConfig};
-use autocat_ppo::{Backbone, PpoConfig};
+// Backbone and PpoConfig share their codec with trainer checkpoints, so a
+// scenario's `[train]` section and a checkpoint's `config`/`backbone`
+// tables never drift apart.
+use autocat_ppo::checkpoint::{
+    backbone_from_value, backbone_to_value, ppo_config_from_value, ppo_config_to_value,
+};
 use std::collections::BTreeMap;
 
 fn ctx<T>(result: Result<T, String>, what: &str) -> Result<T, String> {
     result.map_err(|e| format!("{what}: {e}"))
-}
-
-/// Encodes a `u64` field: as an integer when it fits `i64`, else as a
-/// decimal string, so huge values (hash-derived seeds) never wrap negative
-/// and every saved scenario stays loadable.
-fn u64_value(x: u64) -> Value {
-    match i64::try_from(x) {
-        Ok(i) => Value::Int(i),
-        Err(_) => Value::Str(x.to_string()),
-    }
-}
-
-fn u64_from(value: &Value) -> Result<u64, String> {
-    match value {
-        Value::Str(s) => s
-            .parse::<u64>()
-            .map_err(|_| format!("expected unsigned integer, found `{s}`")),
-        other => other.as_u64(),
-    }
 }
 
 // -- simple enums -----------------------------------------------------------
@@ -345,87 +331,6 @@ fn env_from_value(value: &Value) -> Result<EnvConfig, String> {
 
 // -- training ---------------------------------------------------------------
 
-fn backbone_to_value(backbone: &Backbone) -> Value {
-    let mut table = Value::table();
-    match backbone {
-        Backbone::Mlp { hidden } => {
-            table.set("kind", Value::Str("mlp".into()));
-            table.set(
-                "hidden",
-                Value::Array(hidden.iter().map(|h| Value::Int(*h as i64)).collect()),
-            );
-        }
-        Backbone::Transformer {
-            d_model,
-            num_heads,
-            ff_dim,
-        } => {
-            table.set("kind", Value::Str("transformer".into()));
-            table.set("d_model", Value::Int(*d_model as i64));
-            table.set("num_heads", Value::Int(*num_heads as i64));
-            table.set("ff_dim", Value::Int(*ff_dim as i64));
-        }
-    }
-    table
-}
-
-fn backbone_from_value(value: &Value) -> Result<Backbone, String> {
-    let table = value.as_table()?;
-    match req(table, "kind")?.as_str()? {
-        "mlp" => Ok(Backbone::Mlp {
-            hidden: req(table, "hidden")?
-                .as_array()?
-                .iter()
-                .map(Value::as_usize)
-                .collect::<Result<_, _>>()?,
-        }),
-        "transformer" => Ok(Backbone::Transformer {
-            d_model: req(table, "d_model")?.as_usize()?,
-            num_heads: req(table, "num_heads")?.as_usize()?,
-            ff_dim: req(table, "ff_dim")?.as_usize()?,
-        }),
-        other => Err(format!("unknown backbone kind `{other}`")),
-    }
-}
-
-fn ppo_to_value(ppo: &PpoConfig) -> Value {
-    let mut table = Value::table();
-    table.set("lr", Value::Float(f64::from(ppo.lr)));
-    table.set("gamma", Value::Float(f64::from(ppo.gamma)));
-    table.set("lambda", Value::Float(f64::from(ppo.lambda)));
-    table.set("clip", Value::Float(f64::from(ppo.clip)));
-    table.set("entropy_coef", Value::Float(f64::from(ppo.entropy_coef)));
-    table.set("value_coef", Value::Float(f64::from(ppo.value_coef)));
-    table.set("horizon", Value::Int(ppo.horizon as i64));
-    table.set(
-        "epochs_per_update",
-        Value::Int(ppo.epochs_per_update as i64),
-    );
-    table.set("minibatch", Value::Int(ppo.minibatch as i64));
-    table.set("max_grad_norm", Value::Float(f64::from(ppo.max_grad_norm)));
-    table.set("steps_per_epoch", Value::Int(ppo.steps_per_epoch as i64));
-    table.set("num_lanes", Value::Int(ppo.num_lanes as i64));
-    table
-}
-
-fn ppo_from_value(value: &Value) -> Result<PpoConfig, String> {
-    let table = value.as_table()?;
-    Ok(PpoConfig {
-        lr: req(table, "lr")?.as_f32()?,
-        gamma: req(table, "gamma")?.as_f32()?,
-        lambda: req(table, "lambda")?.as_f32()?,
-        clip: req(table, "clip")?.as_f32()?,
-        entropy_coef: req(table, "entropy_coef")?.as_f32()?,
-        value_coef: req(table, "value_coef")?.as_f32()?,
-        horizon: req(table, "horizon")?.as_usize()?,
-        epochs_per_update: req(table, "epochs_per_update")?.as_usize()?,
-        minibatch: req(table, "minibatch")?.as_usize()?,
-        max_grad_norm: req(table, "max_grad_norm")?.as_f32()?,
-        steps_per_epoch: req(table, "steps_per_epoch")?.as_usize()?,
-        num_lanes: req(table, "num_lanes")?.as_usize()?,
-    })
-}
-
 fn train_to_value(train: &TrainSpec) -> Value {
     let mut table = Value::table();
     table.set("seed", u64_value(train.seed));
@@ -436,7 +341,7 @@ fn train_to_value(train: &TrainSpec) -> Value {
     );
     table.set("eval_episodes", Value::Int(train.eval_episodes as i64));
     table.set("backbone", backbone_to_value(&train.backbone));
-    table.set("ppo", ppo_to_value(&train.ppo));
+    table.set("ppo", ppo_config_to_value(&train.ppo));
     table
 }
 
@@ -448,7 +353,7 @@ fn train_from_value(value: &Value) -> Result<TrainSpec, String> {
         return_threshold: req(table, "return_threshold")?.as_f32()?,
         eval_episodes: req(table, "eval_episodes")?.as_usize()?,
         backbone: ctx(backbone_from_value(req(table, "backbone")?), "backbone")?,
-        ppo: ctx(ppo_from_value(req(table, "ppo")?), "ppo")?,
+        ppo: ctx(ppo_config_from_value(req(table, "ppo")?), "ppo")?,
     })
 }
 

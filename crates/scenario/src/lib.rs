@@ -26,18 +26,28 @@
 //! );
 //! ```
 //!
-//! # Example: round-trip a scenario through TOML
+//! # Example: round-trip a scenario through TOML or JSON
+//!
+//! Both codecs are first-class: [`Scenario::load`] / [`Scenario::save`]
+//! pick by file extension (`.json` is JSON, everything else TOML), and
+//! every registry entry round-trips through either.
 //!
 //! ```
 //! let scenario = autocat_scenario::table4(1).unwrap();
 //! let toml = scenario.to_toml();
 //! let back = autocat_scenario::Scenario::from_toml(&toml).unwrap();
 //! assert_eq!(scenario, back);
+//!
+//! // The JSON path — the format the `sweep` harness uses for scenario
+//! // sidecars and checkpoints — round-trips identically.
+//! let json = scenario.to_json();
+//! let back = autocat_scenario::Scenario::from_json(&json).unwrap();
+//! assert_eq!(scenario, back);
 //! ```
 
 mod encode;
 pub mod registry;
-pub mod value;
+pub use autocat_nn::value;
 
 use autocat::{ExplorationReport, Explorer};
 use autocat_gym::{CacheGuessingGame, EnvConfig};

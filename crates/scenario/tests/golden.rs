@@ -1,5 +1,7 @@
-//! Golden-file test: a hand-written TOML scenario must parse to exactly
-//! the expected in-memory [`Scenario`], and survive re-emission.
+//! Golden-file tests: the same scenario pinned on disk in *both* codecs —
+//! a hand-written TOML file and its JSON equivalent — must parse to
+//! exactly the expected in-memory [`Scenario`] and survive re-emission.
+//! A change that shifts either text format breaks these fixtures loudly.
 
 use autocat_detect::MonitorSpec;
 use autocat_gym::EnvConfig;
@@ -7,6 +9,10 @@ use autocat_scenario::{Scenario, TrainSpec};
 
 fn golden_path() -> &'static str {
     concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/golden.toml")
+}
+
+fn golden_json_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/golden.json")
 }
 
 fn expected() -> Scenario {
@@ -40,6 +46,24 @@ fn expected() -> Scenario {
 fn golden_file_parses_to_the_expected_scenario() {
     let loaded = Scenario::load(golden_path()).expect("golden file must parse");
     assert_eq!(loaded, expected());
+}
+
+#[test]
+fn golden_json_parses_to_the_same_scenario() {
+    // The JSON path is first-class: `Scenario::load` picks the codec by
+    // extension, and both fixtures decode to the identical value.
+    let loaded = Scenario::load(golden_json_path()).expect("golden JSON must parse");
+    assert_eq!(loaded, expected());
+    assert_eq!(loaded, Scenario::load(golden_path()).unwrap());
+}
+
+#[test]
+fn golden_json_is_byte_stable_under_re_emission() {
+    // to_json output is deterministic (sorted tables, exact floats), so
+    // re-emitting the fixture must reproduce it byte for byte.
+    let text = std::fs::read_to_string(golden_json_path()).unwrap();
+    let loaded = Scenario::from_json(&text).unwrap();
+    assert_eq!(loaded.to_json(), text);
 }
 
 #[test]
