@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# CI entry point: everything a PR must pass.
+# CI entry point: everything a PR must pass. Fully offline (all external
+# dependencies are vendored), so it runs identically on a laptop and in
+# the GitHub Actions workflow (.github/workflows/ci.yml).
 set -euo pipefail
 
 echo "==> cargo build --release"
@@ -14,6 +16,9 @@ cargo test -q --doc --workspace
 echo "==> cargo build --examples"
 cargo build --release --examples
 
+echo "==> cargo bench --no-run (criterion benches must keep compiling)"
+cargo bench --no-run --workspace
+
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
@@ -22,5 +27,32 @@ cargo fmt --all -- --check
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+# ---------------------------------------------------------------------------
+# End-to-end smoke gates: regressions on the *training path* (env, rollout,
+# sharded PPO update, checkpointing, report pipeline) must fail CI, not just
+# the unit suites.
+
+echo "==> smoke: scenario-run trains table4-6 for a short budget"
+cargo run --release -q -p autocat-bench --bin scenario-run -- \
+    --scenario table4-6 --steps 4096 --lanes 2 --shards 2
+
+echo "==> smoke: sweep golden round trip (report-only must regenerate bytes)"
+# Train a tiny sweep into a scratch directory, snapshot the reports as the
+# run's golden, then regenerate them from the artifacts alone. The
+# checkpoint resume guarantee makes the regenerated reports byte-identical;
+# any divergence means trainer persistence or the report pipeline broke.
+# (Golden artifacts are produced fresh here because a committed checkpoint
+# would weigh ~2 MB; determinism makes the fresh run just as binding.)
+SWEEP_OUT=$(mktemp -d)
+trap 'rm -rf "$SWEEP_OUT"' EXIT
+cargo run --release -q -p autocat-bench --bin sweep -- \
+    --filter table4-6 --steps 1 --seed 1 --lanes 2 --shards 2 --out "$SWEEP_OUT" >/dev/null
+cp "$SWEEP_OUT/report.md" "$SWEEP_OUT/golden-report.md"
+cp "$SWEEP_OUT/report.json" "$SWEEP_OUT/golden-report.json"
+cargo run --release -q -p autocat-bench --bin sweep -- \
+    --report-only --out "$SWEEP_OUT" >/dev/null
+cmp "$SWEEP_OUT/report.md" "$SWEEP_OUT/golden-report.md"
+cmp "$SWEEP_OUT/report.json" "$SWEEP_OUT/golden-report.json"
 
 echo "CI OK"

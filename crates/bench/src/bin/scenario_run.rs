@@ -5,6 +5,7 @@
 //! scenario-run --scenario table4-6         # run a built-in scenario
 //! scenario-run --file my_scenario.toml     # run a scenario file
 //! scenario-run --scenario table4-1 --steps 50000 --seed 3 --lanes 4
+//! scenario-run --scenario table4-6 --shards 8 --threads 8   # data-parallel update
 //! scenario-run --scenario table4-16 --export cfg16.toml   # write, don't run
 //! ```
 
@@ -47,7 +48,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> ! {
     eprintln!(
         "usage: scenario-run [--list] [--scenario <name> | --file <path>] \
-         [--steps N] [--seed N] [--lanes N] [--export <path>]"
+         [--steps N] [--seed N] [--lanes N] [--shards N] [--threads N] [--export <path>]"
     );
     std::process::exit(2);
 }

@@ -59,10 +59,9 @@ fn parse_args() -> Result<Args, String> {
     // --list returns before any report is generated, so only the actual
     // report-only path needs its flags policed.
     if args.report_only && !args.list && (args.overrides.any() || args.filter.is_some()) {
-        return Err(
-            "--report-only reads artifacts as-is; it cannot honor --filter/--steps/--seed/--lanes"
-                .into(),
-        );
+        return Err("--report-only reads artifacts as-is; it cannot honor \
+             --filter/--steps/--seed/--lanes/--shards/--threads"
+            .into());
     }
     Ok(args)
 }
@@ -70,7 +69,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> ! {
     eprintln!(
         "usage: sweep [--list] [--filter SUBSTR] [--steps N] [--seed N] [--lanes N] \
-         [--out DIR] [--report-only]"
+         [--shards N] [--threads N] [--out DIR] [--report-only]"
     );
     std::process::exit(2);
 }

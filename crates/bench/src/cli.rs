@@ -1,10 +1,11 @@
 //! CLI plumbing shared by the scenario-driven binaries (`scenario-run`,
-//! `sweep`): the common training-override flags, parsed and applied one
-//! way so the two front ends cannot drift.
+//! `sweep`, `train-bench`): the common training-override flags, parsed
+//! and applied one way so the front ends cannot drift.
 
 use autocat_scenario::Scenario;
 
-/// The `--steps` / `--seed` / `--lanes` override trio.
+/// The `--steps` / `--seed` / `--lanes` / `--shards` / `--threads`
+/// override set.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TrainOverrides {
     /// `--steps N`: replaces the scenario's `train.max_steps`.
@@ -13,6 +14,14 @@ pub struct TrainOverrides {
     pub seed: Option<u64>,
     /// `--lanes N`: replaces the scenario's VecEnv width (clamped to 1).
     pub lanes: Option<usize>,
+    /// `--shards N`: replaces the scenario's data-parallel gradient shard
+    /// count (`ppo.grad_shards`, clamped to 1). Part of the training math:
+    /// different shard counts give different (all valid) float reductions.
+    pub shards: Option<usize>,
+    /// `--threads N`: caps the rayon worker pool via `RAYON_NUM_THREADS`.
+    /// Scheduling only — never changes results (see the determinism
+    /// contract in `autocat-ppo`'s sharded module).
+    pub threads: Option<usize>,
 }
 
 impl TrainOverrides {
@@ -36,6 +45,8 @@ impl TrainOverrides {
             "--steps" => self.steps = Some(parse(flag, &next_value(flag)?)?),
             "--seed" => self.seed = Some(parse(flag, &next_value(flag)?)?),
             "--lanes" => self.lanes = Some(parse(flag, &next_value(flag)?)?),
+            "--shards" => self.shards = Some(parse(flag, &next_value(flag)?)?),
+            "--threads" => self.threads = Some(parse(flag, &next_value(flag)?)?),
             _ => return Ok(false),
         }
         Ok(true)
@@ -43,10 +54,18 @@ impl TrainOverrides {
 
     /// Whether any override was given.
     pub fn any(&self) -> bool {
-        self.steps.is_some() || self.seed.is_some() || self.lanes.is_some()
+        self.steps.is_some()
+            || self.seed.is_some()
+            || self.lanes.is_some()
+            || self.shards.is_some()
+            || self.threads.is_some()
     }
 
-    /// Applies the overrides to a scenario's training spec.
+    /// Applies the overrides to a scenario's training spec, and — for
+    /// `--threads` — exports `RAYON_NUM_THREADS` so the lazily-started
+    /// worker pool is sized accordingly. Call before the first parallel
+    /// region (the binaries apply overrides before any training starts);
+    /// once the pool exists the thread override has no effect.
     pub fn apply(&self, scenario: &mut Scenario) {
         if let Some(steps) = self.steps {
             scenario.train.max_steps = steps;
@@ -56,6 +75,12 @@ impl TrainOverrides {
         }
         if let Some(lanes) = self.lanes {
             scenario.train.ppo.num_lanes = lanes.max(1);
+        }
+        if let Some(shards) = self.shards {
+            scenario.train.ppo.grad_shards = shards.max(1);
+        }
+        if let Some(threads) = self.threads {
+            std::env::set_var("RAYON_NUM_THREADS", threads.max(1).to_string());
         }
     }
 }
@@ -89,11 +114,37 @@ mod tests {
     }
 
     #[test]
+    fn parses_and_applies_shards() {
+        let overrides = parse_all(&["--shards", "8"]).unwrap();
+        assert!(overrides.any());
+        let mut scenario = autocat_scenario::table4(1).unwrap();
+        assert_eq!(scenario.train.ppo.grad_shards, 1);
+        overrides.apply(&mut scenario);
+        assert_eq!(scenario.train.ppo.grad_shards, 8);
+
+        let zero = parse_all(&["--shards", "0"]).unwrap();
+        zero.apply(&mut scenario);
+        assert_eq!(scenario.train.ppo.grad_shards, 1, "shards clamp to 1");
+    }
+
+    #[test]
+    fn threads_override_parses_and_counts_as_an_override() {
+        // `apply` exports RAYON_NUM_THREADS; don't call it here (the test
+        // process shares one pool), just check the parse and `any`.
+        let overrides = parse_all(&["--threads", "4"]).unwrap();
+        assert!(overrides.any());
+        assert_eq!(overrides.threads, Some(4));
+    }
+
+    #[test]
     fn rejects_bad_values_and_leaves_unknown_flags() {
         assert!(parse_all(&["--steps", "many"])
             .unwrap_err()
             .contains("--steps"));
         assert!(parse_all(&["--steps"]).unwrap_err().contains("--steps"));
+        assert!(parse_all(&["--shards", "x"])
+            .unwrap_err()
+            .contains("--shards"));
         assert!(parse_all(&["--frobnicate"])
             .unwrap_err()
             .contains("unknown"));

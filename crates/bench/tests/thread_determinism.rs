@@ -1,0 +1,78 @@
+//! Cross-thread-count determinism: the same training workload run under
+//! different `RAYON_NUM_THREADS` settings must produce bit-identical
+//! weights.
+//!
+//! The vendored rayon shim sizes its worker pool once per process, so the
+//! only faithful way to vary the thread count is to vary it across
+//! processes: these tests drive the `train-bench` binary's `--child` mode
+//! (one full measurement per invocation) and compare the final-weight
+//! digests it reports.
+
+use std::process::Command;
+
+/// Runs one `train-bench --child` measurement and returns its
+/// `(steps, digest)` fields.
+fn train_digest(threads: &str, extra: &[&str]) -> (u64, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_train-bench"))
+        .args([
+            "--child",
+            "--scenario",
+            "table4-6",
+            "--steps",
+            "2048",
+            "--lanes",
+            "4",
+            "--seed",
+            "3",
+        ])
+        .args(extra)
+        .env("RAYON_NUM_THREADS", threads)
+        .output()
+        .expect("train-bench --child must spawn");
+    assert!(
+        out.status.success(),
+        "child failed under {threads} thread(s):\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("train-bench-result"))
+        .unwrap_or_else(|| panic!("no result line in:\n{stdout}"));
+    let field = |key: &str| {
+        line.split_whitespace()
+            .find_map(|f| f.strip_prefix(&format!("{key}=")))
+            .unwrap_or_else(|| panic!("missing `{key}` in `{line}`"))
+            .to_string()
+    };
+    (field("steps").parse().unwrap(), field("digest"))
+}
+
+#[test]
+fn sharded_training_is_bit_identical_across_thread_counts() {
+    // The tentpole acceptance criterion: N updates at 1 thread vs 4
+    // threads, identical weights down to the last bit. 4 gradient shards
+    // and 4 lanes ensure real parallel structure is exercised when
+    // workers exist.
+    let (steps_1, digest_1) = train_digest("1", &["--shards", "4"]);
+    let (steps_4, digest_4) = train_digest("4", &["--shards", "4"]);
+    assert_eq!(steps_1, steps_4, "both runs must do identical work");
+    assert!(steps_1 >= 2048);
+    assert_eq!(
+        digest_1, digest_4,
+        "weights diverged between 1 and 4 threads"
+    );
+}
+
+#[test]
+fn unsharded_training_is_also_thread_count_invariant() {
+    // grad_shards = 1 keeps the historical single-threaded update, but
+    // multi-lane rollout collection still uses the pool — it too must not
+    // leak scheduling into the trajectory stream.
+    let (_, digest_1) = train_digest("1", &["--shards", "1"]);
+    let (_, digest_8) = train_digest("8", &["--shards", "1"]);
+    assert_eq!(
+        digest_1, digest_8,
+        "rollout collection diverged between 1 and 8 threads"
+    );
+}

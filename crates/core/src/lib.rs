@@ -82,6 +82,7 @@ pub struct Explorer {
     backbone: Backbone,
     ppo: PpoConfig,
     lanes: Option<usize>,
+    shards: Option<usize>,
     seed: u64,
     max_steps: u64,
     return_threshold: f32,
@@ -99,6 +100,7 @@ impl Explorer {
             },
             ppo: PpoConfig::small_env(),
             lanes: None,
+            shards: None,
             seed: 0,
             max_steps: 400_000,
             return_threshold: 0.85,
@@ -119,6 +121,18 @@ impl Explorer {
     /// `num_lanes` of any [`PpoConfig`] passed to [`Explorer::ppo`].
     pub fn lanes(mut self, lanes: usize) -> Self {
         self.lanes = Some(lanes.max(1));
+        self
+    }
+
+    /// Sets the number of data-parallel gradient shards per minibatch
+    /// (`PpoConfig::grad_shards`). One shard (the default) is the
+    /// historical single-threaded update; more shards split each
+    /// minibatch's forward/backward across the rayon pool with a
+    /// fixed-order reduction that keeps training bit-identical for every
+    /// thread count. Overrides any [`PpoConfig`] passed to
+    /// [`Explorer::ppo`], like [`Explorer::lanes`].
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
         self
     }
 
@@ -162,6 +176,9 @@ impl Explorer {
         let mut ppo = self.ppo;
         if let Some(lanes) = self.lanes {
             ppo.num_lanes = lanes;
+        }
+        if let Some(shards) = self.shards {
+            ppo.grad_shards = shards;
         }
         let mut trainer = Trainer::new(env, self.backbone, ppo, self.seed);
         let result = trainer.train_until(self.return_threshold, self.max_steps);

@@ -14,6 +14,9 @@
 //!   both implementing [`models::PolicyValueNet`] (shared trunk, categorical
 //!   policy head, scalar value head).
 //! * [`optim::Adam`] — the Adam optimizer (per-parameter moments).
+//! * [`grad`] — [`grad::GradBuffer`] and weight-sync helpers for the
+//!   data-parallel sharded PPO update: harvest a replica's gradients,
+//!   reduce shard buffers in fixed order, copy weights to replicas.
 //! * [`dist::Categorical`] — sampling, log-probabilities and entropy for the
 //!   discrete action distribution, plus the analytic gradients PPO needs.
 //! * [`value`] — the workspace's hand-rolled TOML/JSON document model
@@ -49,6 +52,7 @@
 //! ```
 
 pub mod dist;
+pub mod grad;
 pub mod init;
 pub mod layers;
 pub mod matrix;
@@ -59,6 +63,7 @@ pub mod state;
 pub mod value;
 
 pub use dist::Categorical;
+pub use grad::GradBuffer;
 pub use matrix::Matrix;
 pub use optim::Adam;
 pub use param::Param;

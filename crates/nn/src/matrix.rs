@@ -183,13 +183,36 @@ impl Matrix {
         const RB: usize = Matrix::MM_ROW_BLOCK;
         let (m, inner, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
+        let workers = parallel_workers(m.div_ceil(RB), 2 * m * inner * n);
+        if workers <= 1 {
+            self.matmul_rows(other, 0, m, &mut out.data);
+            return out;
+        }
+        // Split on MM_ROW_BLOCK boundaries so every row block is grouped
+        // exactly as in the serial pass: each output element is computed
+        // by one thread with an unchanged instruction sequence, making the
+        // result bit-identical for every worker count (including the
+        // sparse/dense per-block dispatch, which inspects whole blocks).
+        let rows_per = m.div_ceil(RB).div_ceil(workers) * RB;
+        run_row_chunks(&mut out.data, rows_per, n, |i0, rows, chunk| {
+            self.matmul_rows(other, i0, i0 + rows, chunk);
+        });
+        out
+    }
+
+    /// Serial matmul kernel over output rows `i0..i_end`, writing into the
+    /// caller's slice of those rows (`(i_end - i0) * n` values).
+    fn matmul_rows(&self, other: &Matrix, i0: usize, i_end: usize, out_rows: &mut [f32]) {
+        const RB: usize = Matrix::MM_ROW_BLOCK;
+        let (inner, n) = (self.cols, other.cols);
         // Scratch for the dense kernel's k-major repack; allocated only
         // when a multi-row block takes the dense path (one-row forwards
         // and narrow heads never need it).
         let mut pack: Vec<f32> = Vec::new();
-        let mut i0 = 0;
-        while i0 < m {
-            let rb = RB.min(m - i0);
+        let base = i0;
+        let mut i0 = i0;
+        while i0 < i_end {
+            let rb = RB.min(i_end - i0);
             let block_a = &self.data[i0 * inner..(i0 + rb) * inner];
             // Narrow outputs (the scalar value head, small policy heads)
             // have too little work per packed row to amortize the dense
@@ -202,7 +225,7 @@ impl Matrix {
                 // Sparse path: skip zero inputs, full-width axpy.
                 for r in 0..rb {
                     let a_row = &block_a[r * inner..(r + 1) * inner];
-                    let out_row = &mut out.data[(i0 + r) * n..(i0 + r + 1) * n];
+                    let out_row = &mut out_rows[(i0 - base + r) * n..(i0 - base + r + 1) * n];
                     for (k, &a) in a_row.iter().enumerate() {
                         if a == 0.0 {
                             continue;
@@ -221,7 +244,7 @@ impl Matrix {
                 dense_block_matmul(
                     block_a,
                     &other.data,
-                    &mut out.data[i0 * n..(i0 + rb) * n],
+                    &mut out_rows[(i0 - base) * n..(i0 - base + rb) * n],
                     rb,
                     inner,
                     n,
@@ -230,7 +253,6 @@ impl Matrix {
             }
             i0 += rb;
         }
-        out
     }
 
     /// Matrix product `self^T * other` without materializing the transpose.
@@ -245,20 +267,40 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.cols, other.cols);
+        let n = other.cols;
+        let workers = parallel_workers(self.cols, 2 * self.rows * self.cols * n);
+        if workers <= 1 {
+            self.matmul_tn_cols(other, 0, self.cols, &mut out.data);
+            return out;
+        }
+        // Each output row is one column of `self`; a worker owns a
+        // contiguous column range and performs, per output element, the
+        // same k-ascending accumulation the serial loop does — bit-exact
+        // for every worker count.
+        let rows_per = self.cols.div_ceil(workers);
+        run_row_chunks(&mut out.data, rows_per, n, |i0, rows, chunk| {
+            self.matmul_tn_cols(other, i0, i0 + rows, chunk);
+        });
+        out
+    }
+
+    /// Serial `self^T * other` kernel over output rows (= columns of
+    /// `self`) `i0..i_end`, writing into the caller's slice of those rows.
+    fn matmul_tn_cols(&self, other: &Matrix, i0: usize, i_end: usize, out_rows: &mut [f32]) {
+        let n = other.cols;
         for k in 0..self.rows {
-            let a_row = self.row(k);
+            let a_row = &self.row(k)[i0..i_end];
             let b_row = other.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
+            for (local, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                let out_row = &mut out_rows[local * n..(local + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                     *o += a * b;
                 }
             }
         }
-        out
     }
 
     /// Matrix product `self * other^T` without materializing the transpose.
@@ -273,18 +315,34 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
+        let n = other.rows;
+        let workers = parallel_workers(self.rows, 2 * self.rows * self.cols * n);
+        if workers <= 1 {
+            self.matmul_nt_rows(other, 0, self.rows, &mut out.data);
+            return out;
+        }
+        let rows_per = self.rows.div_ceil(workers);
+        run_row_chunks(&mut out.data, rows_per, n, |i0, rows, chunk| {
+            self.matmul_nt_rows(other, i0, i0 + rows, chunk);
+        });
+        out
+    }
+
+    /// Serial `self * other^T` kernel over output rows `i0..i_end`,
+    /// writing into the caller's slice of those rows.
+    fn matmul_nt_rows(&self, other: &Matrix, i0: usize, i_end: usize, out_rows: &mut [f32]) {
+        let n = other.rows;
+        for i in i0..i_end {
             let a_row = self.row(i);
-            for j in 0..other.rows {
+            for j in 0..n {
                 let b_row = other.row(j);
                 let mut acc = 0.0;
                 for (&a, &b) in a_row.iter().zip(b_row.iter()) {
                     acc += a * b;
                 }
-                out.data[i * other.rows + j] = acc;
+                out_rows[(i - i0) * n + j] = acc;
             }
         }
-        out
     }
 
     /// Returns the transpose.
@@ -496,6 +554,71 @@ impl fmt::Debug for Matrix {
     }
 }
 
+thread_local! {
+    /// Set inside [`with_inline_kernels`]: callers that already own the
+    /// worker pool (e.g. the sharded PPO update's inline shard, which
+    /// runs while its sibling shards occupy the workers) force matmuls on
+    /// this thread to stay serial, because chunks they dispatched would
+    /// only queue behind whole-shard tasks in the no-work-stealing shim.
+    static FORCE_INLINE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Runs `f` with this thread's parallel kernel dispatch disabled: every
+/// matmul inside executes serially on the calling thread. Scheduling
+/// only — results are bit-identical either way.
+pub fn with_inline_kernels<T>(f: impl FnOnce() -> T) -> T {
+    FORCE_INLINE.with(|flag| {
+        let prev = flag.replace(true);
+        let out = f();
+        flag.set(prev);
+        out
+    })
+}
+
+/// Worker count for a matmul-family kernel with roughly `flops` scalar
+/// operations and `max_chunks` separable units of output: 1 (run serial)
+/// unless the rayon pool has extra threads *and* the kernel is large
+/// enough to amortize task dispatch. Small kernels — notably the per-step
+/// rollout forwards, which run while VecEnv lanes occupy the worker pool —
+/// must stay inline, as must everything under [`with_inline_kernels`].
+///
+/// The worker count influences only how output chunks are distributed,
+/// never what is computed per output element (callers split work on
+/// boundaries that preserve the serial instruction sequence), so results
+/// stay bit-identical across every `RAYON_NUM_THREADS` setting.
+fn parallel_workers(max_chunks: usize, flops: usize) -> usize {
+    const MIN_PAR_FLOPS: usize = 1 << 22;
+    if flops < MIN_PAR_FLOPS || FORCE_INLINE.with(|flag| flag.get()) {
+        return 1;
+    }
+    rayon::current_num_threads().min(max_chunks).max(1)
+}
+
+/// Splits `out` into contiguous chunks of `rows_per` rows (`n` columns
+/// each) and runs `work(first_row, num_rows, chunk)` for every chunk
+/// across the rayon pool, with the first chunk inline on the caller's
+/// thread. The chunk layout is the caller's; this only schedules.
+fn run_row_chunks(
+    out: &mut [f32],
+    rows_per: usize,
+    n: usize,
+    work: impl Fn(usize, usize, &mut [f32]) + Sync,
+) {
+    debug_assert!(rows_per > 0 && n > 0);
+    let work = &work;
+    rayon::scope(|scope| {
+        let mut chunks = out.chunks_mut(rows_per * n);
+        let first = chunks.next();
+        for (idx, chunk) in chunks.enumerate() {
+            let i0 = (idx + 1) * rows_per;
+            scope.spawn(move |_| work(i0, chunk.len() / n, chunk));
+        }
+        if let Some(chunk) = first {
+            work(0, chunk.len() / n, chunk);
+        }
+    });
+}
+
 /// Dense register-blocked micro-kernel behind [`Matrix::matmul`]: computes
 /// `out_block = a_block * b` for a block of `rb <= MM_ROW_BLOCK` rows.
 /// `a_block` is repacked k-major into `pack` so the inner loop reads it
@@ -611,6 +734,90 @@ pub fn log_sum_exp(row: &[f32]) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Deterministic pseudo-random matrix (SplitMix64-driven) with a
+    /// sprinkling of exact zeros so both the sparse and dense matmul
+    /// paths get exercised.
+    fn scrambled(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let data = (0..rows * cols)
+            .map(|_| {
+                let bits = next();
+                if bits % 5 == 0 {
+                    0.0
+                } else {
+                    (bits % 2000) as f32 / 1000.0 - 1.0
+                }
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    fn assert_bits_eq(a: &Matrix, b: &Matrix, what: &str) {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "{what} shape");
+        for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what} diverges at element {i}");
+        }
+    }
+
+    #[test]
+    fn chunked_matmul_kernels_match_serial_bit_for_bit() {
+        // The parallel dispatch splits output rows into chunks whose
+        // layout varies with the worker count; every split that respects
+        // the callers' boundary rules must reproduce the serial kernel's
+        // bytes exactly. Exercised here explicitly (the test process may
+        // have a single-thread pool).
+        let a = scrambled(23, 17, 1);
+        let b = scrambled(17, 21, 2);
+        let serial = a.matmul(&b);
+        for rows_per in [Matrix::MM_ROW_BLOCK, 2 * Matrix::MM_ROW_BLOCK, 16] {
+            let mut out = Matrix::zeros(a.rows(), b.cols());
+            let n = b.cols();
+            run_row_chunks(out.as_mut_slice(), rows_per, n, |i0, rows, chunk| {
+                a.matmul_rows(&b, i0, i0 + rows, chunk);
+            });
+            assert_bits_eq(&out, &serial, "matmul");
+        }
+    }
+
+    #[test]
+    fn chunked_matmul_tn_and_nt_match_serial_bit_for_bit() {
+        let a = scrambled(19, 13, 3);
+        let b = scrambled(19, 11, 4);
+        let serial = a.matmul_tn(&b);
+        for rows_per in [1usize, 3, 5, 13] {
+            let mut out = Matrix::zeros(a.cols(), b.cols());
+            run_row_chunks(out.as_mut_slice(), rows_per, b.cols(), |i0, rows, chunk| {
+                a.matmul_tn_cols(&b, i0, i0 + rows, chunk);
+            });
+            assert_bits_eq(&out, &serial, "matmul_tn");
+        }
+
+        let c = scrambled(14, 13, 5);
+        let serial = a.matmul_nt(&c);
+        for rows_per in [1usize, 4, 19] {
+            let mut out = Matrix::zeros(a.rows(), c.rows());
+            run_row_chunks(out.as_mut_slice(), rows_per, c.rows(), |i0, rows, chunk| {
+                a.matmul_nt_rows(&c, i0, i0 + rows, chunk);
+            });
+            assert_bits_eq(&out, &serial, "matmul_nt");
+        }
+    }
+
+    #[test]
+    fn small_kernels_stay_inline() {
+        // Rollout-sized forwards must never pay task dispatch (and must
+        // not contend with VecEnv lane stepping for the worker pool).
+        assert_eq!(parallel_workers(2, 2 * 8 * 500 * 128), 1);
+        assert!(parallel_workers(64, 1 << 25) >= 1);
+    }
 
     #[test]
     fn zeros_and_shape() {

@@ -163,6 +163,10 @@ impl PolicyValueNet for MlpPolicy {
         self.value_head.visit_params(f);
     }
 
+    fn clone_box(&self) -> Box<dyn PolicyValueNet> {
+        Box::new(self.clone())
+    }
+
     fn num_params(&self) -> usize {
         let trunk: usize = self.trunk.iter().map(|(l, _)| l.num_params()).sum();
         trunk + self.policy_head.num_params() + self.value_head.num_params()

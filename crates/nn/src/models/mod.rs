@@ -17,7 +17,11 @@ pub type RowGrad = (Vec<f32>, f32);
 ///
 /// PPO interacts with models exclusively through this trait so the MLP and
 /// Transformer backbones (paper Sec. IV-C / VI-B) are interchangeable.
-pub trait PolicyValueNet {
+///
+/// Implementations must be `Send`: the data-parallel trainer clones the
+/// model into per-shard replicas ([`PolicyValueNet::clone_box`]) and runs
+/// each replica's forward/backward on a worker thread.
+pub trait PolicyValueNet: Send {
     /// Batched inference pass: returns `(logits, values)` where `logits` is
     /// `(batch, num_actions)` and `values` has one entry per row of `obs`.
     ///
@@ -39,6 +43,11 @@ pub trait PolicyValueNet {
 
     /// Visits every parameter (for optimizer updates and grad clipping).
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Clones the full model (weights, gradients, optimizer moments,
+    /// caches) behind a fresh box — how the sharded trainer builds its
+    /// per-worker replicas.
+    fn clone_box(&self) -> Box<dyn PolicyValueNet>;
 
     /// Total number of scalar parameters.
     fn num_params(&self) -> usize;

@@ -251,6 +251,10 @@ impl PolicyValueNet for TransformerPolicy {
         self.value_head.visit_params(f);
     }
 
+    fn clone_box(&self) -> Box<dyn PolicyValueNet> {
+        Box::new(self.clone())
+    }
+
     fn num_params(&self) -> usize {
         self.embed.num_params()
             + self.pos.len()

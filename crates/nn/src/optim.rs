@@ -59,6 +59,16 @@ impl Adam {
         self.t += 1;
     }
 
+    /// One full optimizer step: increments the bias-correction counter and
+    /// applies [`Adam::update_param`] to every parameter the visitor
+    /// yields (models expose `visit_params` for this). Gradients are left
+    /// untouched.
+    pub fn step(&mut self, mut visit: impl FnMut(&mut dyn FnMut(&mut Param))) {
+        self.begin_step();
+        let this = &*self;
+        visit(&mut |p: &mut Param| this.update_param(p));
+    }
+
     /// Applies one Adam update to a single parameter using its accumulated
     /// gradient, then leaves the gradient untouched (call
     /// [`Param::zero_grad`] separately).

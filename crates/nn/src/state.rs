@@ -143,6 +143,26 @@ pub fn load_params(net: &mut dyn PolicyValueNet, value: &Value) -> Result<(), St
     Ok(())
 }
 
+/// A 64-bit FNV-1a digest over the exact bit patterns of every parameter
+/// value (in `visit_params` order). Two models digest equal **iff** their
+/// weights are bit-identical — the currency of the cross-thread-count
+/// determinism tests and the `train-bench` harness.
+///
+/// Takes `&mut` because [`PolicyValueNet::visit_params`] does; the network
+/// is not modified.
+pub fn params_digest(net: &mut dyn PolicyValueNet) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    net.visit_params(&mut |p| {
+        for &x in p.value.as_slice() {
+            for byte in x.to_bits().to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+    });
+    hash
+}
+
 /// Serializes an [`Adam`] optimizer (hyper-parameters and step counter;
 /// the per-parameter moments live with the parameters).
 pub fn adam_to_value(adam: &Adam) -> Value {
@@ -248,6 +268,33 @@ mod tests {
         net.visit_params(&mut |p| p.grad.as_mut_slice().iter_mut().for_each(|g| *g = 1.0));
         load_params(&mut net, &saved).unwrap();
         net.visit_params(&mut |p| assert!(p.grad.as_slice().iter().all(|&g| g == 0.0)));
+    }
+
+    #[test]
+    fn params_digest_tracks_exact_weight_bits() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let cfg = MlpConfig::new(4, 2).with_hidden(vec![4]);
+        let mut net = MlpPolicy::new(&cfg, &mut rng);
+        let mut twin = net.clone();
+        assert_eq!(params_digest(&mut net), params_digest(&mut twin));
+
+        // The tiniest possible perturbation (one ULP in one weight) must
+        // change the digest — and moments must NOT affect it.
+        twin.visit_params(&mut |p| {
+            for m in p.m.as_mut_slice() {
+                *m = 9.0;
+            }
+        });
+        assert_eq!(params_digest(&mut net), params_digest(&mut twin));
+        let mut bumped = false;
+        twin.visit_params(&mut |p| {
+            if !bumped {
+                let w = &mut p.value.as_mut_slice()[0];
+                *w = f32::from_bits(w.to_bits() ^ 1);
+                bumped = true;
+            }
+        });
+        assert_ne!(params_digest(&mut net), params_digest(&mut twin));
     }
 
     #[test]

@@ -113,6 +113,12 @@ pub fn ppo_config_to_value(ppo: &PpoConfig) -> Value {
     table.set("max_grad_norm", Value::Float(f64::from(ppo.max_grad_norm)));
     table.set("steps_per_epoch", Value::Int(ppo.steps_per_epoch as i64));
     table.set("num_lanes", Value::Int(ppo.num_lanes as i64));
+    // Written only when it changes the math: a single shard is the
+    // historical update, and omitting the key keeps every pre-existing
+    // scenario/checkpoint file (and the golden fixtures) byte-stable.
+    if ppo.grad_shards > 1 {
+        table.set("grad_shards", Value::Int(ppo.grad_shards as i64));
+    }
     table
 }
 
@@ -136,6 +142,10 @@ pub fn ppo_config_from_value(value: &Value) -> Result<PpoConfig, String> {
         max_grad_norm: req(table, "max_grad_norm")?.as_f32()?,
         steps_per_epoch: req(table, "steps_per_epoch")?.as_usize()?,
         num_lanes: req(table, "num_lanes")?.as_usize()?,
+        grad_shards: match table.get("grad_shards") {
+            Some(value) => value.as_usize()?.max(1),
+            None => 1,
+        },
     })
 }
 
@@ -290,6 +300,8 @@ impl<E: Environment + Clone + Send> Trainer<E> {
             total_steps: u64_from(req(table, "total_steps")?)?,
             recent,
             recent_cap: req(table, "recent_cap")?.as_usize()?,
+            // Transient: rebuilt lazily on the first sharded update.
+            replicas: Vec::new(),
         })
     }
 
@@ -329,7 +341,12 @@ mod tests {
         CacheGuessingGame::new(cfg).unwrap()
     }
 
-    fn trainer(env: CacheGuessingGame, lanes: usize, seed: u64) -> Trainer<CacheGuessingGame> {
+    fn trainer_sharded(
+        env: CacheGuessingGame,
+        lanes: usize,
+        shards: usize,
+        seed: u64,
+    ) -> Trainer<CacheGuessingGame> {
         Trainer::new(
             env,
             Backbone::Mlp { hidden: vec![16] },
@@ -338,10 +355,15 @@ mod tests {
                 minibatch: 64,
                 epochs_per_update: 2,
                 num_lanes: lanes,
+                grad_shards: shards,
                 ..PpoConfig::default()
             },
             seed,
         )
+    }
+
+    fn trainer(env: CacheGuessingGame, lanes: usize, seed: u64) -> Trainer<CacheGuessingGame> {
+        trainer_sharded(env, lanes, 1, seed)
     }
 
     fn ckpt_path(name: &str) -> std::path::PathBuf {
@@ -354,7 +376,16 @@ mod tests {
     /// produce bit-identical update statistics, weights and greedy
     /// evaluations. This is the resume guarantee of the module docs.
     fn assert_bit_exact_resume(make_env: fn() -> CacheGuessingGame, lanes: usize, name: &str) {
-        let mut original = trainer(make_env(), lanes, 11);
+        assert_bit_exact_resume_sharded(make_env, lanes, 1, name);
+    }
+
+    fn assert_bit_exact_resume_sharded(
+        make_env: fn() -> CacheGuessingGame,
+        lanes: usize,
+        shards: usize,
+        name: &str,
+    ) {
+        let mut original = trainer_sharded(make_env(), lanes, shards, 11);
         for _ in 0..2 {
             original.train_update();
         }
@@ -385,6 +416,15 @@ mod tests {
     #[test]
     fn resume_is_bit_exact_multi_lane() {
         assert_bit_exact_resume(env, 4, "multi_lane.ckpt.json");
+    }
+
+    #[test]
+    fn resume_is_bit_exact_under_the_sharded_trainer() {
+        // The parallel (data-parallel gradient) trainer must uphold the
+        // same resume guarantee as the single-threaded one: grad_shards
+        // rides in the checkpointed config, and the fixed-order reduction
+        // makes continued training deterministic.
+        assert_bit_exact_resume_sharded(env, 2, 3, "sharded.ckpt.json");
     }
 
     #[test]
@@ -465,10 +505,81 @@ mod tests {
             let back = backbone_from_value(&backbone_to_value(&backbone)).unwrap();
             assert_eq!(back, backbone);
         }
-        let ppo = PpoConfig::small_env().with_lanes(6);
+        let ppo = PpoConfig::small_env().with_lanes(6).with_grad_shards(4);
         assert_eq!(
             ppo_config_from_value(&ppo_config_to_value(&ppo)).unwrap(),
             ppo
         );
+    }
+
+    #[test]
+    fn grad_shards_is_omitted_at_one_and_defaults_on_old_files() {
+        // Single-shard configs serialize exactly as they did before the
+        // field existed (keeps golden fixtures byte-stable), and tables
+        // written by older builds — no `grad_shards` key — decode to 1.
+        let ppo = PpoConfig::default();
+        let encoded = ppo_config_to_value(&ppo);
+        assert!(encoded.as_table().unwrap().get("grad_shards").is_none());
+        assert_eq!(ppo_config_from_value(&encoded).unwrap().grad_shards, 1);
+
+        let sharded = ppo.with_grad_shards(8);
+        let encoded = ppo_config_to_value(&sharded);
+        assert!(encoded.as_table().unwrap().get("grad_shards").is_some());
+        assert_eq!(ppo_config_from_value(&encoded).unwrap(), sharded);
+    }
+
+    #[test]
+    fn truncated_checkpoint_file_is_an_error_not_a_panic() {
+        let mut t = trainer(env(), 1, 4);
+        t.train_update();
+        let path = ckpt_path("truncated.ckpt.json");
+        t.save_checkpoint(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Cut the file at several depths, including mid-token.
+        for frac in [2usize, 3, 10, 100] {
+            let cut = ckpt_path(&format!("truncated_{frac}.ckpt.json"));
+            std::fs::write(&cut, &text[..text.len() / frac]).unwrap();
+            let err = Trainer::load_checkpoint(&cut, env())
+                .err()
+                .expect("truncated checkpoint must be rejected");
+            assert!(err.contains(".ckpt.json"), "error names the file: {err}");
+        }
+    }
+
+    #[test]
+    fn corrupt_checkpoint_files_are_errors_not_panics() {
+        let dir = ckpt_path("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, text) in [
+            ("not_json.ckpt.json", "definitely not json"),
+            ("wrong_shape.ckpt.json", "[1, 2, 3]"),
+            ("empty_table.ckpt.json", "{}"),
+            (
+                "mistyped.ckpt.json",
+                "{\"version\": \"one\", \"params\": 5}",
+            ),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, text).unwrap();
+            assert!(
+                Trainer::load_checkpoint(&path, env()).is_err(),
+                "{name} must fail to load"
+            );
+        }
+        // A missing file is also an Err (not a panic).
+        assert!(Trainer::load_checkpoint(dir.join("absent.ckpt.json"), env()).is_err());
+    }
+
+    #[test]
+    fn version_mismatch_in_the_file_is_an_error() {
+        let mut t = trainer(env(), 1, 5);
+        let mut saved = t.to_checkpoint_value();
+        saved.set("version", Value::Int(CHECKPOINT_VERSION + 7));
+        let path = ckpt_path("future_version.ckpt.json");
+        std::fs::write(&path, value::to_json(&saved)).unwrap();
+        let err = Trainer::load_checkpoint(&path, env())
+            .err()
+            .expect("future version must be rejected");
+        assert!(err.contains("version"), "{err}");
     }
 }

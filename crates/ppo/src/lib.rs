@@ -7,7 +7,11 @@
 //! * [`rollout`] — trajectory collection and generalized advantage
 //!   estimation (GAE-λ),
 //! * [`trainer`] — the clipped-surrogate PPO update with entropy bonus,
-//!   value loss, advantage normalization and global gradient clipping,
+//!   value loss, advantage normalization and global gradient clipping;
+//!   with `PpoConfig::grad_shards > 1` each minibatch is sharded across
+//!   model replicas on the rayon pool and the gradients reduced in fixed
+//!   shard order, so the update is bit-identical for every
+//!   `RAYON_NUM_THREADS` setting,
 //! * [`eval`] — greedy evaluation and deterministic replay used to extract
 //!   attack sequences from a converged policy ("Once the sum of the reward
 //!   within an episode is converged to a positive value, we use
@@ -43,6 +47,7 @@
 pub mod checkpoint;
 pub mod eval;
 pub mod rollout;
+pub mod sharded;
 pub mod trainer;
 
 pub use eval::{EvalStats, ExtractedSequence};

@@ -5,7 +5,7 @@ use autocat_nn::models::{
     MlpConfig, MlpPolicy, PolicyValueNet, TransformerConfig, TransformerPolicy,
 };
 use autocat_nn::optim::clip_global_grad_norm;
-use autocat_nn::{Adam, Categorical};
+use autocat_nn::Adam;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 use crate::rollout::{collect, EpisodeTally};
+use crate::sharded::{row_grad, sharded_minibatch, LossSums, MinibatchCtx};
 
 /// PPO hyper-parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -42,6 +43,15 @@ pub struct PpoConfig {
     /// Parallel environment lanes collected per rollout (`VecEnv` width).
     /// 1 reproduces the scalar single-env path bit-for-bit.
     pub num_lanes: usize,
+    /// Data-parallel gradient shards per minibatch (see
+    /// [`crate::sharded`]). 1 (the default) preserves the historical
+    /// single-threaded update verbatim; values > 1 split each minibatch
+    /// across model replicas on the rayon pool and reduce gradients in
+    /// fixed shard order, so results are bit-identical for every
+    /// `RAYON_NUM_THREADS` — but not to the 1-shard path (floating-point
+    /// reassociation), which is why this is a checkpointed
+    /// hyper-parameter, not a runtime knob.
+    pub grad_shards: usize,
 }
 
 impl Default for PpoConfig {
@@ -59,6 +69,7 @@ impl Default for PpoConfig {
             max_grad_norm: 0.5,
             steps_per_epoch: 3000,
             num_lanes: 1,
+            grad_shards: 1,
         }
     }
 }
@@ -77,6 +88,13 @@ impl PpoConfig {
     #[must_use]
     pub fn with_lanes(mut self, lanes: usize) -> Self {
         self.num_lanes = lanes.max(1);
+        self
+    }
+
+    /// Sets the number of data-parallel gradient shards per minibatch.
+    #[must_use]
+    pub fn with_grad_shards(mut self, shards: usize) -> Self {
+        self.grad_shards = shards.max(1);
         self
     }
 
@@ -203,6 +221,11 @@ pub struct Trainer<E: Environment> {
     pub(crate) total_steps: u64,
     pub(crate) recent: VecDeque<(f32, usize, bool)>,
     pub(crate) recent_cap: usize,
+    /// Per-shard model replicas for the data-parallel update, built
+    /// lazily on the first sharded `train_update` and reused after
+    /// (their weights are re-synced from `net` every minibatch, so only
+    /// the architecture matters). Never checkpointed.
+    pub(crate) replicas: Vec<Box<dyn PolicyValueNet>>,
 }
 
 impl<E: Environment + Clone + Send> Trainer<E> {
@@ -224,6 +247,7 @@ impl<E: Environment + Clone + Send> Trainer<E> {
             total_steps: 0,
             recent: VecDeque::new(),
             recent_cap: 100,
+            replicas: Vec::new(),
         }
     }
 }
@@ -244,6 +268,7 @@ impl<E: Environment + Send> Trainer<E> {
             total_steps: 0,
             recent: VecDeque::new(),
             recent_cap: 100,
+            replicas: Vec::new(),
         }
     }
 
@@ -348,62 +373,46 @@ impl<E: Environment + Send> Trainer<E> {
             ..UpdateStats::default()
         };
         let mut loss_samples = 0usize;
+        // Replicas for the sharded update: one per shard beyond shard 0
+        // (which runs in place on the primary net), sized by the config —
+        // never by the pool — and reused across updates.
+        let extra_shards = cfg.grad_shards.max(1) - 1;
+        while self.replicas.len() < extra_shards {
+            self.replicas.push(self.net.clone_box());
+        }
+        self.replicas.truncate(extra_shards);
         let mut indices: Vec<usize> = (0..n).collect();
         for _ in 0..cfg.epochs_per_update {
             indices.shuffle(&mut self.rng);
             for chunk in indices.chunks(cfg.minibatch) {
-                let obs = batch.obs.gather_rows(chunk);
-                let clip = cfg.clip;
-                let ecoef = cfg.entropy_coef;
-                let vcoef = cfg.value_coef;
-                let inv = 1.0 / chunk.len() as f32;
-                let mut policy_loss = 0.0f32;
-                let mut value_loss = 0.0f32;
-                let mut entropy_sum = 0.0f32;
-                self.net.zero_grad();
-                self.net.train_batch(&obs, &mut |i, logits, value| {
-                    let k = chunk[i];
-                    let action = batch.actions[k];
-                    let adv = advantages[k];
-                    let old_logp = batch.logps[k];
-                    let ret = batch.returns[k];
-                    let dist = Categorical::from_logits(logits);
-                    let logp = dist.log_prob(action);
-                    let ratio = (logp - old_logp).exp();
-                    let unclipped = ratio * adv;
-                    let clipped = ratio.clamp(1.0 - clip, 1.0 + clip) * adv;
-                    policy_loss += -unclipped.min(clipped);
-                    let ent = dist.entropy();
-                    entropy_sum += ent;
-                    let verr = value - ret;
-                    value_loss += 0.5 * verr * verr;
-                    // Gradient of the surrogate wrt logits: active only when
-                    // the unclipped term is the minimum.
-                    let use_unclipped = unclipped <= clipped;
-                    let mut dlogits = vec![0.0f32; dist.num_categories()];
-                    if use_unclipped {
-                        let dlogp = dist.dlogp_dlogits(action);
-                        for (g, d) in dlogits.iter_mut().zip(dlogp.iter()) {
-                            // d(-ratio*adv)/dlogits = -adv * ratio * dlogp
-                            *g += -adv * ratio * d * inv;
-                        }
-                    }
-                    // Entropy bonus: loss includes -ecoef * H.
-                    let dent = dist.dentropy_dlogits();
-                    for (g, d) in dlogits.iter_mut().zip(dent.iter()) {
-                        *g += -ecoef * d * inv;
-                    }
-                    let dvalue = vcoef * verr * inv;
-                    (dlogits, dvalue)
-                });
+                let ctx = MinibatchCtx {
+                    batch: &batch,
+                    advantages: &advantages,
+                    clip: cfg.clip,
+                    entropy_coef: cfg.entropy_coef,
+                    value_coef: cfg.value_coef,
+                    inv: 1.0 / chunk.len() as f32,
+                };
+                let mut sums = LossSums::default();
+                if self.replicas.is_empty() {
+                    // The historical single-threaded update, verbatim.
+                    let obs = batch.obs.gather_rows(chunk);
+                    self.net.zero_grad();
+                    self.net.train_batch(&obs, &mut |i, logits, value| {
+                        row_grad(&ctx, chunk[i], logits, value, &mut sums)
+                    });
+                } else {
+                    // Data-parallel: shard 0 runs in place on the primary
+                    // net, the rest on weight-synced replicas; gradients
+                    // and loss sums reduce in fixed shard order.
+                    sums = sharded_minibatch(self.net.as_mut(), &mut self.replicas, &ctx, chunk);
+                }
                 stats.grad_norm =
                     clip_global_grad_norm(cfg.max_grad_norm, |f| self.net.visit_params(f));
-                self.adam.begin_step();
-                let adam = &self.adam;
-                self.net.visit_params(&mut |p| adam.update_param(p));
-                stats.policy_loss += policy_loss;
-                stats.value_loss += value_loss;
-                stats.entropy += entropy_sum;
+                self.adam.step(|f| self.net.visit_params(f));
+                stats.policy_loss += sums.policy_loss;
+                stats.value_loss += sums.value_loss;
+                stats.entropy += sums.entropy;
                 loss_samples += chunk.len();
             }
         }
@@ -567,6 +576,63 @@ mod tests {
             last > first + 0.2,
             "vectorized training must improve returns: first {first}, last {last}"
         );
+    }
+
+    #[test]
+    fn sharded_update_collects_and_learns() {
+        // The data-parallel path must actually train, not just run.
+        let env = CacheGuessingGame::new(EnvConfig::flush_reload_fa4().with_window(8)).unwrap();
+        let mut t = Trainer::new(
+            env,
+            Backbone::Mlp { hidden: vec![32] },
+            PpoConfig {
+                horizon: 512,
+                num_lanes: 4,
+                grad_shards: 4,
+                ..PpoConfig::small_env()
+            },
+            1,
+        );
+        let first = t.train_update().episodes.avg_return();
+        for _ in 0..25 {
+            t.train_update();
+        }
+        let last = t.avg_return();
+        assert!(
+            last > first + 0.2,
+            "sharded training must improve returns: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn sharded_training_is_bitwise_deterministic() {
+        // Two trainers, same seed and shard layout: stats and final
+        // weight bytes must agree exactly, whatever the worker pool does.
+        let run = || {
+            let env = CacheGuessingGame::new(EnvConfig::flush_reload_fa4()).unwrap();
+            let mut t = Trainer::new(
+                env,
+                Backbone::Mlp { hidden: vec![16] },
+                PpoConfig {
+                    horizon: 256,
+                    minibatch: 64,
+                    epochs_per_update: 2,
+                    num_lanes: 2,
+                    grad_shards: 3,
+                    ..PpoConfig::default()
+                },
+                9,
+            );
+            let mut stats = Vec::new();
+            for _ in 0..3 {
+                stats.push(t.train_update());
+            }
+            (stats, autocat_nn::state::params_digest(t.net_mut()))
+        };
+        let (stats_a, digest_a) = run();
+        let (stats_b, digest_b) = run();
+        assert_eq!(stats_a, stats_b);
+        assert_eq!(digest_a, digest_b, "weights must be bit-identical");
     }
 
     #[test]
