@@ -55,4 +55,11 @@ cargo run --release -q -p autocat-bench --bin sweep -- \
 cmp "$SWEEP_OUT/report.md" "$SWEEP_OUT/golden-report.md"
 cmp "$SWEEP_OUT/report.json" "$SWEEP_OUT/golden-report.json"
 
+echo "==> smoke: eval-bench batched vs serial on the sweep artifacts"
+# Reuses the sweep gate's checkpoint. eval-bench hard-fails if the batched
+# evaluator at 1 lane diverges from the serial evaluator by a single bit,
+# so this is the evaluation-path regression gate.
+cargo run --release -q -p autocat-bench --bin eval-bench -- \
+    --dir "$SWEEP_OUT" --eval-episodes 40 --lanes 4
+
 echo "CI OK"

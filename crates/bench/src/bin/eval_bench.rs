@@ -1,0 +1,267 @@
+//! Evaluation throughput + determinism benchmark over sweep artifacts.
+//!
+//! Loads every `<name>.scenario.json` / `<name>.ckpt.json` pair under a
+//! sweep directory and evaluates each checkpointed policy three ways from
+//! the identical trainer state:
+//!
+//! 1. **serial** — the historical one-env `eval::evaluate` loop (timed),
+//! 2. **batched, 1 lane** — `eval::evaluate_batched` in scalar-compat
+//!    mode, which must be **bit-identical** to the serial stats (the
+//!    harness hard-fails on any divergence: this is the CI smoke gate),
+//! 3. **batched, N lanes** — the lane-batched engine (timed; the
+//!    throughput headline), whose stats digest is printed per scenario so
+//!    subprocess tests can assert bit-identical results across
+//!    `RAYON_NUM_THREADS` settings.
+//!
+//! ```text
+//! eval-bench --dir runs/sweep                     # bench every artifact
+//! eval-bench --dir runs/sweep --write             # also record BENCH_eval.json
+//! eval-bench --dir runs/fr --eval-episodes 200 --lanes 16 --filter table4
+//! ```
+
+use autocat::gym::CacheGuessingGame;
+use autocat::ppo::{eval, EvalStats, Trainer};
+use autocat_bench::cli::TrainOverrides;
+use autocat_bench::sweep::{artifact_names, checkpoint_path, scenario_path};
+use autocat_scenario::Scenario;
+use std::path::Path;
+use std::time::Instant;
+
+struct Args {
+    dir: String,
+    filter: Option<String>,
+    episodes: usize,
+    lanes: usize,
+    write: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut overrides = TrainOverrides::default();
+    let mut args = Args {
+        dir: "runs/sweep".to_string(),
+        filter: None,
+        episodes: 100,
+        lanes: 8,
+        write: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        if overrides.try_parse(&flag, &mut value)? {
+            continue;
+        }
+        match flag.as_str() {
+            "--dir" => args.dir = value("--dir")?,
+            "--filter" => args.filter = Some(value("--filter")?),
+            "--write" => args.write = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    // The shared override set carries training knobs this harness cannot
+    // honor — the checkpoints are already trained.
+    if overrides.steps.is_some() || overrides.seed.is_some() || overrides.shards.is_some() {
+        return Err(
+            "eval-bench evaluates existing checkpoints; --steps/--seed/--shards do not apply"
+                .into(),
+        );
+    }
+    if let Some(episodes) = overrides.eval_episodes {
+        args.episodes = episodes.max(1);
+    }
+    if let Some(lanes) = overrides.lanes {
+        args.lanes = lanes.max(1);
+    }
+    if let Some(threads) = overrides.threads {
+        // Before the first rayon use, so the lazily-built pool sees it.
+        std::env::set_var("RAYON_NUM_THREADS", threads.max(1).to_string());
+    }
+    // The evaluator clamps lanes to the episode budget; clamp here too so
+    // the printed header and BENCH_eval.json record the effective lane
+    // count, not a requested-but-unused one.
+    args.lanes = args.lanes.min(args.episodes);
+    Ok(args)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: eval-bench [--dir DIR] [--filter SUBSTR] [--eval-episodes N] [--lanes N] \
+         [--threads N] [--write]"
+    );
+    std::process::exit(2);
+}
+
+/// Loads a fresh checkpoint-state trainer for one artifact pair. Called
+/// once per evaluation mode so every mode starts from the identical
+/// trainer state (weights, env, RNG stream).
+fn load_trainer(dir: &Path, name: &str) -> Result<Trainer<CacheGuessingGame>, String> {
+    let err = |e: String| format!("{name}: {e}");
+    let scenario = Scenario::load(scenario_path(dir, name)).map_err(err)?;
+    let env = scenario.build_env().map_err(err)?;
+    Trainer::load_checkpoint(checkpoint_path(dir, name), env).map_err(err)
+}
+
+struct Row {
+    scenario: String,
+    serial_secs: f64,
+    batched_secs: f64,
+    stats: EvalStats,
+    digest: u64,
+}
+
+fn bench_one(dir: &Path, name: &str, episodes: usize, lanes: usize) -> Result<Row, String> {
+    // Serial reference (timed).
+    let mut trainer = load_trainer(dir, name)?;
+    let (env, net, rng) = trainer.parts_mut();
+    let start = Instant::now();
+    let serial = eval::evaluate(env, net, episodes, false, rng);
+    let serial_secs = start.elapsed().as_secs_f64();
+
+    // The bit-identity gate: one batched lane from the same start state.
+    let mut trainer = load_trainer(dir, name)?;
+    let (env, net, rng) = trainer.parts_mut();
+    let one_lane = eval::evaluate_batched(&*env, net, episodes, 1, false, rng).stats;
+    // Digest comparison, not PartialEq: f32 == would let a -0.0/+0.0
+    // association regression through, and single-bit is the contract.
+    if one_lane.digest() != serial.digest() {
+        return Err(format!(
+            "{name}: batched eval at 1 lane diverged from serial \
+             (serial digest {:016x}, batched {:016x})",
+            serial.digest(),
+            one_lane.digest()
+        ));
+    }
+
+    // The batched engine (timed), again from the same start state.
+    let mut trainer = load_trainer(dir, name)?;
+    let (env, net, rng) = trainer.parts_mut();
+    let start = Instant::now();
+    let stats = eval::evaluate_batched(&*env, net, episodes, lanes, false, rng).stats;
+    let batched_secs = start.elapsed().as_secs_f64();
+
+    Ok(Row {
+        scenario: name.to_string(),
+        serial_secs,
+        batched_secs,
+        digest: stats.digest(),
+        stats,
+    })
+}
+
+fn write_json(args: &Args, rows: &[Row]) -> std::io::Result<()> {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let serial = args.episodes as f64 / r.serial_secs;
+            let batched = args.episodes as f64 / r.batched_secs;
+            format!(
+                "    {{\"scenario\": \"{}\", \"serial_eps_per_sec\": {:.1}, \
+                 \"batched_eps_per_sec\": {:.1}, \"speedup\": {:.2}, \"accuracy\": {:.4}, \
+                 \"detection_rate\": {:.4}, \"avg_length\": {:.2}, \"digest\": \"{:016x}\"}}",
+                r.scenario,
+                serial,
+                batched,
+                batched / serial,
+                r.stats.accuracy(),
+                r.stats.detection_rate(),
+                r.stats.avg_length,
+                r.digest
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"eval_throughput\",\n  \"episodes\": {},\n  \"lanes\": {},\n  \
+         \"available_cpus\": {cpus},\n  \"results\": [\n{}\n  ]\n}}\n",
+        args.episodes,
+        args.lanes,
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_eval.json", json)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+        }
+    };
+
+    let dir = Path::new(&args.dir);
+    let names: Vec<String> = match artifact_names(dir) {
+        Ok(names) => names
+            .into_iter()
+            .filter(|n| args.filter.as_ref().is_none_or(|f| n.contains(f.as_str())))
+            .collect(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    if names.is_empty() {
+        eprintln!(
+            "error: no scenario artifacts under {} (run a training sweep first)",
+            dir.display()
+        );
+        std::process::exit(1);
+    }
+
+    println!(
+        "evaluation throughput: {} scenario(s) under {}, {} episodes, {} lanes",
+        names.len(),
+        dir.display(),
+        args.episodes,
+        args.lanes
+    );
+    println!(
+        "{:<24} {:>12} {:>13} {:>8} {:>9} {:>7}  digest",
+        "scenario", "serial eps/s", "batched eps/s", "speedup", "accuracy", "detect"
+    );
+    let mut rows = Vec::new();
+    for name in &names {
+        match bench_one(dir, name, args.episodes, args.lanes) {
+            Ok(row) => {
+                let serial = args.episodes as f64 / row.serial_secs;
+                let batched = args.episodes as f64 / row.batched_secs;
+                println!(
+                    "{:<24} {:>12.1} {:>13.1} {:>7.2}x {:>9.3} {:>7.3}  {:016x}",
+                    row.scenario,
+                    serial,
+                    batched,
+                    batched / serial,
+                    row.stats.accuracy(),
+                    row.stats.detection_rate(),
+                    row.digest
+                );
+                rows.push(row);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "serial vs batched(1 lane): bit-identical for all {} scenario(s)",
+        rows.len()
+    );
+
+    // Greppable result lines for the cross-thread-count determinism test.
+    for row in &rows {
+        println!(
+            "eval-bench-result scenario={} episodes={} digest={:016x}",
+            row.scenario, args.episodes, row.digest
+        );
+    }
+
+    if args.write {
+        if let Err(e) = write_json(&args, &rows) {
+            eprintln!("error: writing BENCH_eval.json: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote BENCH_eval.json");
+    }
+}

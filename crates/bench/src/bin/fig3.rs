@@ -70,7 +70,18 @@ fn main() {
         );
         trainer.train_until(8.0, budget.max_steps());
         let (env, net, rng2) = trainer.parts_mut();
-        let _ = eval::evaluate(env, net, 1, false, rng2);
+        // Evaluate the trained agent and *report* the stats (this call
+        // used to be discarded, silently serving only to advance the RNG
+        // stream); the agent's quality contextualizes its event train.
+        let stats = eval::evaluate(env, net, 20, false, rng2);
+        println!(
+            "{label:<12} eval over {} episodes: avg return {:.2}, avg length {:.1}, \
+             detection rate {:.2}",
+            stats.episodes,
+            stats.avg_return,
+            stats.avg_length,
+            stats.detection_rate()
+        );
         // One more full episode to read its event log.
         let mut obs = env.reset(rng2);
         loop {

@@ -48,7 +48,8 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> ! {
     eprintln!(
         "usage: scenario-run [--list] [--scenario <name> | --file <path>] \
-         [--steps N] [--seed N] [--lanes N] [--shards N] [--threads N] [--export <path>]"
+         [--steps N] [--seed N] [--lanes N] [--eval-episodes N] [--shards N] [--threads N] \
+         [--export <path>]"
     );
     std::process::exit(2);
 }
@@ -107,7 +108,10 @@ fn main() {
     });
     println!("sequence : {}", report.sequence_notation);
     println!("category : {}", report.category);
-    println!("accuracy : {:.3}", report.accuracy);
+    println!(
+        "accuracy : {:.3} over {} episodes (detection rate {:.3})",
+        report.accuracy, report.eval_episodes, report.detection_rate
+    );
     println!("steps    : {}", report.training_steps);
     match report.epochs_to_converge {
         Some(epochs) => println!("converged: {epochs:.1} paper-epochs (3000 steps each)"),

@@ -60,7 +60,7 @@ fn parse_args() -> Result<Args, String> {
     // report-only path needs its flags policed.
     if args.report_only && !args.list && (args.overrides.any() || args.filter.is_some()) {
         return Err("--report-only reads artifacts as-is; it cannot honor \
-             --filter/--steps/--seed/--lanes/--shards/--threads"
+             --filter/--steps/--seed/--lanes/--eval-episodes/--shards/--threads"
             .into());
     }
     Ok(args)
@@ -69,7 +69,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> ! {
     eprintln!(
         "usage: sweep [--list] [--filter SUBSTR] [--steps N] [--seed N] [--lanes N] \
-         [--shards N] [--threads N] [--out DIR] [--report-only]"
+         [--eval-episodes N] [--shards N] [--threads N] [--out DIR] [--report-only]"
     );
     std::process::exit(2);
 }
@@ -105,8 +105,13 @@ fn train_all(args: &Args, out: &Path) -> Result<Vec<SweepRow>, String> {
                 let result = train_one(scenario, out);
                 if let Ok(row) = &result {
                     eprintln!(
-                        "sweep: {:<24} {} steps, reward {:.3}, {}",
-                        row.scenario, row.steps, row.final_return, row.category
+                        "sweep: {:<24} {} steps, reward {:.3}, {} (accuracy {:.3} over {} episodes)",
+                        row.scenario,
+                        row.steps,
+                        row.final_return,
+                        row.category,
+                        row.accuracy(),
+                        row.eval_episodes
                     );
                 }
                 *slot = Some(result);

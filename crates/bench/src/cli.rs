@@ -4,8 +4,8 @@
 
 use autocat_scenario::Scenario;
 
-/// The `--steps` / `--seed` / `--lanes` / `--shards` / `--threads`
-/// override set.
+/// The `--steps` / `--seed` / `--lanes` / `--shards` / `--threads` /
+/// `--eval-episodes` override set.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TrainOverrides {
     /// `--steps N`: replaces the scenario's `train.max_steps`.
@@ -14,6 +14,10 @@ pub struct TrainOverrides {
     pub seed: Option<u64>,
     /// `--lanes N`: replaces the scenario's VecEnv width (clamped to 1).
     pub lanes: Option<usize>,
+    /// `--eval-episodes N`: replaces the scenario's post-training
+    /// evaluation episode budget (`train.eval_episodes`, clamped to 1) —
+    /// the N behind every per-policy accuracy/detection statistic.
+    pub eval_episodes: Option<usize>,
     /// `--shards N`: replaces the scenario's data-parallel gradient shard
     /// count (`ppo.grad_shards`, clamped to 1). Part of the training math:
     /// different shard counts give different (all valid) float reductions.
@@ -45,6 +49,7 @@ impl TrainOverrides {
             "--steps" => self.steps = Some(parse(flag, &next_value(flag)?)?),
             "--seed" => self.seed = Some(parse(flag, &next_value(flag)?)?),
             "--lanes" => self.lanes = Some(parse(flag, &next_value(flag)?)?),
+            "--eval-episodes" => self.eval_episodes = Some(parse(flag, &next_value(flag)?)?),
             "--shards" => self.shards = Some(parse(flag, &next_value(flag)?)?),
             "--threads" => self.threads = Some(parse(flag, &next_value(flag)?)?),
             _ => return Ok(false),
@@ -57,6 +62,7 @@ impl TrainOverrides {
         self.steps.is_some()
             || self.seed.is_some()
             || self.lanes.is_some()
+            || self.eval_episodes.is_some()
             || self.shards.is_some()
             || self.threads.is_some()
     }
@@ -75,6 +81,9 @@ impl TrainOverrides {
         }
         if let Some(lanes) = self.lanes {
             scenario.train.ppo.num_lanes = lanes.max(1);
+        }
+        if let Some(episodes) = self.eval_episodes {
+            scenario.train.eval_episodes = episodes.max(1);
         }
         if let Some(shards) = self.shards {
             scenario.train.ppo.grad_shards = shards.max(1);
@@ -125,6 +134,19 @@ mod tests {
         let zero = parse_all(&["--shards", "0"]).unwrap();
         zero.apply(&mut scenario);
         assert_eq!(scenario.train.ppo.grad_shards, 1, "shards clamp to 1");
+    }
+
+    #[test]
+    fn parses_and_applies_eval_episodes() {
+        let overrides = parse_all(&["--eval-episodes", "500"]).unwrap();
+        assert!(overrides.any());
+        let mut scenario = autocat_scenario::table4(1).unwrap();
+        overrides.apply(&mut scenario);
+        assert_eq!(scenario.train.eval_episodes, 500);
+
+        let zero = parse_all(&["--eval-episodes", "0"]).unwrap();
+        zero.apply(&mut scenario);
+        assert_eq!(scenario.train.eval_episodes, 1, "episodes clamp to 1");
     }
 
     #[test]

@@ -1,15 +1,26 @@
 //! The scenario-sweep pipeline behind the `sweep` binary: train every
-//! registry scenario, checkpoint each policy, decode greedy attack traces,
-//! and render a Table IV reproduction report.
+//! registry scenario, checkpoint each policy, evaluate each over its
+//! scenario's episode budget, and render a Table IV reproduction report.
+//!
+//! A report row is a **per-policy statistic**, not a single replay: each
+//! scenario is evaluated over `train.eval_episodes` sampled episodes with
+//! the lane-batched engine ([`autocat::ppo::eval::evaluate_batched`],
+//! [`EVAL_LANES`] lanes), and the row carries N-episode accuracy,
+//! detection rate, average length and an attack-category census. The
+//! printed sequence is a *representative replay*: the first (preferring
+//! correct) episode of the census's majority category, so rows on
+//! stochastic backends (random-replacement caches, `SimulatedProcessor`)
+//! stop flapping between runs.
 //!
 //! The pipeline is deliberately split from the CLI so the
 //! train-→-artifacts-→-report round trip is testable: a report generated
 //! right after training and a report regenerated later from the artifacts
 //! alone ([`row_from_artifacts`]) are **identical**, because a row is
 //! always produced from a checkpoint-equivalent trainer state (training
-//! saves first, then decodes; report-only loads, then decodes — the
-//! checkpoint resume guarantee in `autocat_ppo::checkpoint` makes both
-//! decodes bit-identical).
+//! saves first, then evaluates; report-only loads, then evaluates — the
+//! checkpoint resume guarantee in `autocat_ppo::checkpoint` plus the
+//! batched evaluator's determinism contract make both evaluations
+//! bit-identical).
 //!
 //! # Artifact layout
 //!
@@ -32,7 +43,16 @@ use autocat_scenario::value::{self, req, u64_from, u64_value, Value};
 use autocat_scenario::Scenario;
 use std::path::{Path, PathBuf};
 
-/// One row of the sweep report (one trained scenario).
+/// Evaluation lanes used when decoding a report row — the canonical width
+/// shared with `Explorer` (`autocat::ppo::eval::EVAL_LANES`), so a
+/// scenario evaluated by `scenario-run` and by the sweep report sees the
+/// identical sampling plan. Fixed (not a CLI knob) because the lane split
+/// is part of that plan: the same artifacts must yield the same rows on
+/// every machine.
+pub use autocat::ppo::eval::EVAL_LANES;
+
+/// One row of the sweep report (one trained scenario), carrying N-episode
+/// evaluation statistics rather than a single-replay coin flip.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SweepRow {
     /// Scenario name (registry or file-derived).
@@ -46,12 +66,47 @@ pub struct SweepRow {
     pub final_return: f32,
     /// Whether the trailing return reached the scenario's threshold.
     pub converged: bool,
-    /// Heuristic category of the decoded attack (the paper's analysis).
+    /// Episodes evaluated for this row (the scenario's
+    /// `train.eval_episodes`).
+    pub eval_episodes: u64,
+    /// Evaluation episodes ending in a correct guess.
+    pub correct: u64,
+    /// Evaluation episodes ending in any guess.
+    pub guessed: u64,
+    /// Evaluation episodes terminated by a detector.
+    pub detected: u64,
+    /// Mean evaluation episode length.
+    pub avg_length: f32,
+    /// Majority attack category across the census (the paper's analysis).
     pub category: String,
-    /// Whether the greedy rollout guessed the secret correctly.
-    pub correct: bool,
-    /// The decoded attack in the paper's notation.
+    /// Attack-category census over every evaluated episode, rendered as
+    /// `category:count` pairs sorted by descending count.
+    pub census: String,
+    /// A representative replay in the paper's notation: the first
+    /// (preferring correct) evaluated episode of the majority category.
     pub sequence: String,
+}
+
+impl SweepRow {
+    /// Correct guesses over **all** evaluation episodes (the paper's
+    /// accuracy column).
+    pub fn accuracy(&self) -> f64 {
+        if self.eval_episodes == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.eval_episodes as f64
+        }
+    }
+
+    /// Detector-terminated episodes over all evaluation episodes (the
+    /// Sec. V-D defense metric).
+    pub fn detection_rate(&self) -> f64 {
+        if self.eval_episodes == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.eval_episodes as f64
+        }
+    }
 }
 
 /// Checkpoint file for a scenario name under `out`.
@@ -67,31 +122,90 @@ pub fn scenario_path(out: &Path, name: &str) -> PathBuf {
 /// Decodes a report row from a trainer whose state equals the checkpoint
 /// on disk — either because the checkpoint was just saved from it, or
 /// because it was just loaded from one.
+///
+/// Evaluates the policy over `scenario.train.eval_episodes` sampled
+/// episodes on [`EVAL_LANES`] batched lanes (sampling, not argmax: the
+/// honest statistic on stochastic backends), then takes a census of the
+/// classified attack categories across every episode. The row's printed
+/// sequence is the first (preferring correct) episode of the majority
+/// category.
 fn report_row(trainer: &mut Trainer<CacheGuessingGame>, scenario: &Scenario) -> SweepRow {
     let steps = trainer.total_steps();
     let final_return = trainer.avg_return();
     let converged = final_return >= scenario.train.return_threshold;
+    let episodes = scenario.train.eval_episodes.max(1);
     let (env, net, rng) = trainer.parts_mut();
-    let seq = eval::extract_sequence(env, net, rng);
-    let actions: Vec<Action> = seq
-        .actions
+    let report = eval::evaluate_batched(&*env, net, episodes, EVAL_LANES, false, rng);
+
+    let decode = |ep: &eval::EpisodeRecord| -> Vec<Action> {
+        ep.actions
+            .iter()
+            .map(|&i| env.action_space().decode(i))
+            .collect()
+    };
+    let categories: Vec<String> = report
+        .episodes
         .iter()
-        .map(|&i| env.action_space().decode(i))
+        .map(|ep| classify_sequence(&decode(ep), env.config()).to_string())
         .collect();
-    let sequence = actions
+    let mut counts: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for category in &categories {
+        *counts.entry(category).or_default() += 1;
+    }
+    // Majority category; ties break to the lexicographically first name
+    // (BTreeMap order) so the winner never depends on episode order.
+    let category = counts
         .iter()
-        .map(|a| a.to_string())
+        .max_by_key(|(name, count)| (*count, std::cmp::Reverse(*name)))
+        .map(|(name, _)| (*name).to_string())
+        .unwrap_or_default();
+    let mut census_pairs: Vec<(&str, u64)> = counts.iter().map(|(n, c)| (*n, *c)).collect();
+    census_pairs.sort_by_key(|&(name, count)| (std::cmp::Reverse(count), name));
+    let census = census_pairs
+        .iter()
+        .map(|(name, count)| format!("{name}:{count}"))
         .collect::<Vec<_>>()
-        .join(" -> ");
-    let category = classify_sequence(&actions, env.config()).to_string();
+        .join(", ");
+    // Representative replay: first correct episode of the majority
+    // category, else the first episode of that category.
+    let mut first_match = None;
+    let mut first_correct = None;
+    for (ep, cat) in report.episodes.iter().zip(&categories) {
+        if *cat != category {
+            continue;
+        }
+        if first_match.is_none() {
+            first_match = Some(ep);
+        }
+        if ep.correct {
+            first_correct = Some(ep);
+            break;
+        }
+    }
+    let representative = first_correct.or(first_match);
+    let sequence = representative
+        .map(|ep| {
+            decode(ep)
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(" -> ")
+        })
+        .unwrap_or_default();
+
     SweepRow {
         scenario: scenario.name.clone(),
         summary: scenario.summary.clone(),
         steps,
         final_return,
         converged,
+        eval_episodes: report.stats.episodes as u64,
+        correct: report.stats.correct as u64,
+        guessed: report.stats.guessed as u64,
+        detected: report.stats.detected as u64,
+        avg_length: report.stats.avg_length,
         category,
-        correct: seq.correct,
+        census,
         sequence,
     }
 }
@@ -207,18 +321,26 @@ pub fn render_markdown(rows: &[SweepRow]) -> String {
         "# Table IV reproduction report\n\n\
          Generated by the `sweep` harness from per-scenario checkpoints; regenerate this\n\
          exact report from the artifacts alone with `sweep --report-only --out <dir>`.\n\n\
-         | scenario | steps | final reward | converged | attack category | correct | sequence |\n\
-         |----------|------:|-------------:|-----------|-----------------|---------|----------|\n",
+         Accuracy, detection rate and average length are per-policy statistics over\n\
+         `eval N` sampled evaluation episodes (the scenario's `eval_episodes`), not a\n\
+         single replay; `category` is the majority of the per-episode census and the\n\
+         sequence column shows a representative episode of that category.\n\n\
+         | scenario | steps | final reward | converged | category | accuracy | detect | avg len | eval N | census | representative sequence |\n\
+         |----------|------:|-------------:|-----------|----------|---------:|-------:|--------:|-------:|--------|-------------------------|\n",
     );
     for row in rows {
         out.push_str(&format!(
-            "| {} | {} | {:.3} | {} | {} | {} | `{}` |\n",
+            "| {} | {} | {:.3} | {} | {} | {:.3} | {:.3} | {:.1} | {} | {} | `{}` |\n",
             row.scenario,
             row.steps,
             row.final_return,
             if row.converged { "yes" } else { "no" },
             row.category,
-            if row.correct { "yes" } else { "no" },
+            row.accuracy(),
+            row.detection_rate(),
+            row.avg_length,
+            row.eval_episodes,
+            row.census,
             row.sequence,
         ));
     }
@@ -240,8 +362,17 @@ pub fn render_json(rows: &[SweepRow]) -> String {
                     table.set("steps", u64_value(row.steps));
                     table.set("final_return", Value::Float(f64::from(row.final_return)));
                     table.set("converged", Value::Bool(row.converged));
+                    table.set("eval_episodes", u64_value(row.eval_episodes));
+                    table.set("correct", u64_value(row.correct));
+                    table.set("guessed", u64_value(row.guessed));
+                    table.set("detected", u64_value(row.detected));
+                    // Derived ratios, for machine readers; the counts above
+                    // are authoritative and exact.
+                    table.set("accuracy", Value::Float(row.accuracy()));
+                    table.set("detection_rate", Value::Float(row.detection_rate()));
+                    table.set("avg_length", Value::Float(f64::from(row.avg_length)));
                     table.set("category", Value::Str(row.category.clone()));
-                    table.set("correct", Value::Bool(row.correct));
+                    table.set("census", Value::Str(row.census.clone()));
                     table.set("sequence", Value::Str(row.sequence.clone()));
                     table
                 })
@@ -270,8 +401,13 @@ pub fn rows_from_json(text: &str) -> Result<Vec<SweepRow>, String> {
                 steps: u64_from(req(row, "steps")?)?,
                 final_return: req(row, "final_return")?.as_f32()?,
                 converged: req(row, "converged")?.as_bool()?,
+                eval_episodes: u64_from(req(row, "eval_episodes")?)?,
+                correct: u64_from(req(row, "correct")?)?,
+                guessed: u64_from(req(row, "guessed")?)?,
+                detected: u64_from(req(row, "detected")?)?,
+                avg_length: req(row, "avg_length")?.as_f32()?,
                 category: req(row, "category")?.as_str()?.to_string(),
-                correct: req(row, "correct")?.as_bool()?,
+                census: req(row, "census")?.as_str()?.to_string(),
                 sequence: req(row, "sequence")?.as_str()?.to_string(),
             })
         })
@@ -367,12 +503,48 @@ mod tests {
             steps: 512,
             final_return: 0.123_456_7,
             converged: false,
+            eval_episodes: 100,
+            correct: 97,
+            guessed: 99,
+            detected: 2,
+            avg_length: 4.25,
             category: "flush+reload".into(),
-            correct: true,
+            census: "flush+reload:93, other:7".into(),
             sequence: "f0 -> v -> 0 -> g".into(),
         }];
         let back = rows_from_json(&render_json(&rows)).unwrap();
         assert_eq!(back, rows);
+        assert!((back[0].accuracy() - 0.97).abs() < 1e-12);
+        assert!((back[0].detection_rate() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trained_row_carries_episode_statistics() {
+        // A sweep row is an N-episode statistic: counts bounded by the
+        // episode budget, a census that names the majority category, and a
+        // representative sequence drawn from the evaluated episodes.
+        let out = temp_out("row-stats");
+        let scenario = tiny_scenario();
+        let row = train_one(&scenario, &out).unwrap();
+        assert_eq!(row.eval_episodes, scenario.train.eval_episodes as u64);
+        assert!(row.correct <= row.guessed);
+        assert!(row.guessed <= row.eval_episodes);
+        assert!(row.accuracy() <= 1.0);
+        assert!(row.avg_length >= 1.0);
+        assert!(!row.category.is_empty());
+        assert!(
+            row.census.contains(&format!("{}:", row.category)),
+            "census `{}` must cover the majority category `{}`",
+            row.census,
+            row.category
+        );
+        assert!(!row.sequence.is_empty(), "representative replay required");
+        let total: u64 = row
+            .census
+            .split(", ")
+            .map(|pair| pair.rsplit(':').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, row.eval_episodes, "census must cover every episode");
     }
 
     #[test]
@@ -383,8 +555,13 @@ mod tests {
             steps: 0,
             final_return: 0.0,
             converged: false,
+            eval_episodes: 0,
+            correct: 0,
+            guessed: 0,
+            detected: 0,
+            avg_length: 0.0,
             category: String::new(),
-            correct: false,
+            census: String::new(),
             sequence: String::new(),
         };
         let mut rows = vec![row("table4-10"), row("defense-misscount"), row("table4-2")];

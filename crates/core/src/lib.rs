@@ -61,8 +61,13 @@ pub struct ExplorationReport {
     pub sequence_notation: String,
     /// Heuristic attack category (the paper's "attack analysis").
     pub category: AttackCategory,
-    /// Guess accuracy over the evaluation episodes.
+    /// Guess accuracy (correct / episodes) over the evaluation episodes.
     pub accuracy: f64,
+    /// Fraction of evaluation episodes terminated by a detector (the
+    /// Sec. V-D defense metric).
+    pub detection_rate: f64,
+    /// Evaluation episodes behind the two rates above.
+    pub eval_episodes: usize,
     /// Environment steps spent training.
     pub training_steps: u64,
     /// Paper-style epochs (3000 steps each) to convergence, if converged.
@@ -160,7 +165,9 @@ impl Explorer {
         self
     }
 
-    /// Sets the number of evaluation episodes.
+    /// Sets the number of evaluation episodes. Evaluation always runs on
+    /// the canonical `eval::EVAL_LANES` batched width (shared with the
+    /// sweep report), independent of the training lane count.
     pub fn eval_episodes(mut self, episodes: usize) -> Self {
         self.eval_episodes = episodes;
         self
@@ -182,10 +189,15 @@ impl Explorer {
         }
         let mut trainer = Trainer::new(env, self.backbone, ppo, self.seed);
         let result = trainer.train_until(self.return_threshold, self.max_steps);
-        // Evaluate with sampling (matters on stochastic caches) and extract
-        // the canonical sequence by greedy replay.
+        // Evaluate with sampling (matters on stochastic caches) on the
+        // canonical EVAL_LANES width — the same sampling plan the sweep
+        // report uses, so both front ends report identical statistics for
+        // identical policies — then extract the canonical sequence by
+        // greedy replay.
         let (env, net, rng) = trainer.parts_mut();
-        let stats = eval::evaluate(env, net, self.eval_episodes, false, rng);
+        let stats =
+            eval::evaluate_batched(&*env, net, self.eval_episodes, eval::EVAL_LANES, false, rng)
+                .stats;
         let seq = eval::extract_sequence(env, net, rng);
         let actions: Vec<Action> = seq
             .actions
@@ -203,6 +215,8 @@ impl Explorer {
             sequence_notation: notation,
             category,
             accuracy: stats.accuracy(),
+            detection_rate: stats.detection_rate(),
+            eval_episodes: stats.episodes,
             training_steps: result.total_steps,
             epochs_to_converge: result.converged_at_epochs,
             episode_length: result.final_avg_length,

@@ -24,8 +24,11 @@ use rand::SeedableRng;
 
 use crate::{Environment, StepInfo};
 
-/// SplitMix64 finalizer used to derive well-separated per-lane seeds.
-fn mix_seed(seed: u64, lane: u64) -> u64 {
+/// SplitMix64 finalizer deriving well-separated per-lane RNG seeds from a
+/// base seed. This is the lane-stream derivation [`VecEnv`] uses, exported
+/// so other lane-parallel drivers (batched evaluation in `autocat-ppo`)
+/// split one caller stream into per-lane streams the same way.
+pub fn lane_seed(seed: u64, lane: u64) -> u64 {
     let mut z = seed ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -166,7 +169,7 @@ impl<E: Environment> VecEnv<E> {
                 let obs_dim = env.obs_dim();
                 Lane {
                     env,
-                    rng: StdRng::seed_from_u64(mix_seed(seed, i as u64)),
+                    rng: StdRng::seed_from_u64(lane_seed(seed, i as u64)),
                     obs: vec![0.0; obs_dim],
                     episode_return: 0.0,
                     episode_len: 0,

@@ -63,7 +63,9 @@ impl Matrix {
         Self::from_vec(1, row.len(), row.to_vec())
     }
 
-    /// Creates a matrix from nested row slices (for tests and examples).
+    /// Creates a matrix from nested row slices — how the batched evaluator
+    /// assembles the live-lane observation batch each step (the rows of
+    /// quiet lanes are simply absent).
     ///
     /// # Panics
     ///

@@ -143,6 +143,19 @@ pub fn load_params(net: &mut dyn PolicyValueNet, value: &Value) -> Result<(), St
     Ok(())
 }
 
+/// The workspace's determinism-fingerprint hash: 64-bit FNV-1a over a
+/// byte stream. Every bitwise-equality gate (weight digests here, eval
+/// stat digests in `autocat-ppo`) folds through this one kernel so the
+/// digest discipline can only change in one place.
+pub fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
 /// A 64-bit FNV-1a digest over the exact bit patterns of every parameter
 /// value (in `visit_params` order). Two models digest equal **iff** their
 /// weights are bit-identical — the currency of the cross-thread-count
@@ -151,16 +164,13 @@ pub fn load_params(net: &mut dyn PolicyValueNet, value: &Value) -> Result<(), St
 /// Takes `&mut` because [`PolicyValueNet::visit_params`] does; the network
 /// is not modified.
 pub fn params_digest(net: &mut dyn PolicyValueNet) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut bytes = Vec::new();
     net.visit_params(&mut |p| {
         for &x in p.value.as_slice() {
-            for byte in x.to_bits().to_le_bytes() {
-                hash ^= u64::from(byte);
-                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-            }
+            bytes.extend_from_slice(&x.to_bits().to_le_bytes());
         }
     });
-    hash
+    fnv1a(bytes)
 }
 
 /// Serializes an [`Adam`] optimizer (hyper-parameters and step counter;

@@ -12,10 +12,13 @@
 //!   model replicas on the rayon pool and the gradients reduced in fixed
 //!   shard order, so the update is bit-identical for every
 //!   `RAYON_NUM_THREADS` setting,
-//! * [`eval`] — greedy evaluation and deterministic replay used to extract
-//!   attack sequences from a converged policy ("Once the sum of the reward
-//!   within an episode is converged to a positive value, we use
-//!   deterministic replay to extract the attack sequences"),
+//! * [`eval`] — policy evaluation (the serial loop and the lane-batched
+//!   [`eval::evaluate_batched`] engine: one batched forward per step over
+//!   all live lanes, bit-identical to the serial path at one lane) and the
+//!   deterministic replay used to extract attack sequences from a
+//!   converged policy ("Once the sum of the reward within an episode is
+//!   converged to a positive value, we use deterministic replay to extract
+//!   the attack sequences"),
 //! * [`checkpoint`] — trainer persistence: weights, Adam moments and every
 //!   RNG stream, with a **bit-exact resume guarantee** (a loaded trainer
 //!   continues identically to the one that saved, see the
@@ -50,6 +53,6 @@ pub mod rollout;
 pub mod sharded;
 pub mod trainer;
 
-pub use eval::{EvalStats, ExtractedSequence};
+pub use eval::{EpisodeRecord, EvalReport, EvalStats, ExtractedSequence};
 pub use rollout::{gae, RolloutBatch};
 pub use trainer::{Backbone, PpoConfig, TrainResult, Trainer, UpdateStats};

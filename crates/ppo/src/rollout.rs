@@ -80,6 +80,18 @@ impl EpisodeTally {
             self.correct as f32 / self.count as f32
         }
     }
+
+    /// Folds `other` into `self` (counts and sums add). Batched evaluation
+    /// merges per-lane tallies in fixed lane order so the float sums are
+    /// reduced deterministically.
+    pub fn merge(&mut self, other: &Self) {
+        self.count += other.count;
+        self.return_sum += other.return_sum;
+        self.length_sum += other.length_sum;
+        self.correct += other.correct;
+        self.guessed += other.guessed;
+        self.detected += other.detected;
+    }
 }
 
 /// Computes GAE-λ advantages and returns.

@@ -68,7 +68,10 @@ pub struct TrainSpec {
     pub max_steps: u64,
     /// Trailing-average-return threshold treated as convergence.
     pub return_threshold: f32,
-    /// Evaluation episodes after training.
+    /// Evaluation episodes after training — the N behind every per-policy
+    /// statistic this scenario reports (`Explorer` accuracy/detection
+    /// rate, the sweep report's accuracy/census columns). Overridable on
+    /// the bench CLIs with `--eval-episodes`.
     pub eval_episodes: usize,
     /// Policy/value network backbone.
     pub backbone: Backbone,
