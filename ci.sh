@@ -13,6 +13,12 @@ cargo test -q --workspace
 echo "==> cargo test --doc (trait-contract examples)"
 cargo test -q --doc --workspace
 
+echo "==> cargo test (scalar-fallback: the compile-time no-SIMD path stays green)"
+# The `scalar-fallback` feature compiles the x86 kernel tiers out entirely;
+# the kernel, training, and golden-fixture suites must pass with identical
+# results — SIMD is an implementation detail, never a semantic.
+cargo test -q -p autocat-nn -p autocat-bench --features autocat-nn/scalar-fallback
+
 echo "==> cargo build --examples"
 cargo build --release --examples
 
@@ -32,6 +38,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 # End-to-end smoke gates: regressions on the *training path* (env, rollout,
 # sharded PPO update, checkpointing, report pipeline) must fail CI, not just
 # the unit suites.
+
+echo "==> smoke: matmul-bench digest gate (SIMD vs scalar kernels, bit for bit)"
+# Hard-fails on any SIMD/scalar kernel divergence, on every available tier,
+# across aligned and ragged shapes. This is the cheap always-on version of
+# the kernel property suite.
+cargo run --release -q -p autocat-bench --bin matmul-bench -- --check
 
 echo "==> smoke: scenario-run trains table4-6 for a short budget"
 cargo run --release -q -p autocat-bench --bin scenario-run -- \

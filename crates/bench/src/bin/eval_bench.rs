@@ -17,7 +17,14 @@
 //! eval-bench --dir runs/sweep                     # bench every artifact
 //! eval-bench --dir runs/sweep --write             # also record BENCH_eval.json
 //! eval-bench --dir runs/fr --eval-episodes 200 --lanes 16 --filter table4
+//! eval-bench --dir runs/sweep --threads-list 1,2,4,8
 //! ```
+//!
+//! `--threads-list` adds the thread-scaling axis: the vendored rayon shim
+//! sizes its pool once per process, so the harness re-executes itself once
+//! per thread count (mirroring train-bench) and reports a scaling curve.
+//! Per-scenario stat digests must be bit-identical across all thread
+//! counts; the sweep hard-fails otherwise.
 
 use autocat::gym::CacheGuessingGame;
 use autocat::ppo::{eval, EvalStats, Trainer};
@@ -32,6 +39,7 @@ struct Args {
     filter: Option<String>,
     episodes: usize,
     lanes: usize,
+    threads_list: Option<Vec<usize>>,
     write: bool,
 }
 
@@ -42,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
         filter: None,
         episodes: 100,
         lanes: 8,
+        threads_list: None,
         write: false,
     };
     let mut it = std::env::args().skip(1);
@@ -54,6 +63,21 @@ fn parse_args() -> Result<Args, String> {
             "--dir" => args.dir = value("--dir")?,
             "--filter" => args.filter = Some(value("--filter")?),
             "--write" => args.write = true,
+            "--threads-list" => {
+                let list = value("--threads-list")?
+                    .split(',')
+                    .map(|t| match t.trim().parse::<usize>() {
+                        // 0 means "unset" to the rayon shim (all cores); a
+                        // row labeled 0 would be a lie.
+                        Ok(0) | Err(_) => Err(format!("bad thread count `{t}`")),
+                        Ok(n) => Ok(n),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if list.is_empty() {
+                    return Err("--threads-list needs at least one entry".into());
+                }
+                args.threads_list = Some(list);
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -71,6 +95,9 @@ fn parse_args() -> Result<Args, String> {
     if let Some(lanes) = overrides.lanes {
         args.lanes = lanes.max(1);
     }
+    if overrides.threads.is_some() && args.threads_list.is_some() {
+        return Err("--threads fixes one pool size, --threads-list sweeps them; pick one".into());
+    }
     if let Some(threads) = overrides.threads {
         // Before the first rayon use, so the lazily-built pool sees it.
         std::env::set_var("RAYON_NUM_THREADS", threads.max(1).to_string());
@@ -85,7 +112,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> ! {
     eprintln!(
         "usage: eval-bench [--dir DIR] [--filter SUBSTR] [--eval-episodes N] [--lanes N] \
-         [--threads N] [--write]"
+         [--threads N] [--threads-list 1,2,4,8] [--write]"
     );
     std::process::exit(2);
 }
@@ -147,7 +174,37 @@ fn bench_one(dir: &Path, name: &str, episodes: usize, lanes: usize) -> Result<Ro
     })
 }
 
-fn write_json(args: &Args, rows: &[Row]) -> std::io::Result<()> {
+/// One scenario's results in the shape `BENCH_eval.json` records; produced
+/// directly by in-process runs and reparsed from child result lines by the
+/// `--threads-list` sweep.
+struct JsonRow {
+    scenario: String,
+    serial_secs: f64,
+    batched_secs: f64,
+    accuracy: f64,
+    detection_rate: f64,
+    avg_length: f64,
+    digest: u64,
+}
+
+impl Row {
+    fn to_json_row(&self) -> JsonRow {
+        JsonRow {
+            scenario: self.scenario.clone(),
+            serial_secs: self.serial_secs,
+            batched_secs: self.batched_secs,
+            accuracy: self.stats.accuracy(),
+            detection_rate: self.stats.detection_rate(),
+            avg_length: f64::from(self.stats.avg_length),
+            digest: self.digest,
+        }
+    }
+}
+
+/// `(threads, total batched secs across scenarios)` per sweep point.
+type ScalingPoint = (usize, f64);
+
+fn write_json(args: &Args, rows: &[JsonRow], scaling: &[ScalingPoint]) -> std::io::Result<()> {
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -164,21 +221,146 @@ fn write_json(args: &Args, rows: &[Row]) -> std::io::Result<()> {
                 serial,
                 batched,
                 batched / serial,
-                r.stats.accuracy(),
-                r.stats.detection_rate(),
-                r.stats.avg_length,
+                r.accuracy,
+                r.detection_rate,
+                r.avg_length,
                 r.digest
             )
         })
         .collect();
+    let total_episodes = (args.episodes * rows.len()) as f64;
+    let scaling_entries: Vec<String> = scaling
+        .iter()
+        .map(|&(threads, secs)| {
+            format!(
+                "    {{\"threads\": {threads}, \"batched_eps_per_sec\": {:.1}, \
+                 \"speedup\": {:.2}}}",
+                total_episodes / secs,
+                scaling[0].1 / secs
+            )
+        })
+        .collect();
+    let scaling_json = if scaling_entries.is_empty() {
+        String::new()
+    } else {
+        format!(
+            ",\n  \"thread_scaling\": [\n{}\n  ]",
+            scaling_entries.join(",\n")
+        )
+    };
     let json = format!(
         "{{\n  \"benchmark\": \"eval_throughput\",\n  \"episodes\": {},\n  \"lanes\": {},\n  \
-         \"available_cpus\": {cpus},\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"available_cpus\": {cpus},\n  \"results\": [\n{}\n  ]{scaling_json}\n}}\n",
         args.episodes,
         args.lanes,
         entries.join(",\n")
     );
     std::fs::write("BENCH_eval.json", json)
+}
+
+/// Parses the `eval-bench-result` lines out of one child's stdout.
+fn parse_child_rows(stdout: &str) -> Result<Vec<JsonRow>, String> {
+    let mut rows = Vec::new();
+    for line in stdout
+        .lines()
+        .filter(|l| l.starts_with("eval-bench-result"))
+    {
+        let field = |key: &str| {
+            line.split_whitespace()
+                .find_map(|f| f.strip_prefix(&format!("{key}=")))
+                .ok_or_else(|| format!("missing `{key}` in `{line}`"))
+        };
+        let num = |key: &str| -> Result<f64, String> {
+            field(key)?
+                .parse::<f64>()
+                .map_err(|e| format!("bad `{key}` in `{line}`: {e}"))
+        };
+        rows.push(JsonRow {
+            scenario: field("scenario")?.to_string(),
+            serial_secs: num("serial_secs")?,
+            batched_secs: num("batched_secs")?,
+            accuracy: num("accuracy")?,
+            detection_rate: num("detection")?,
+            avg_length: num("avg_length")?,
+            digest: u64::from_str_radix(field("digest")?, 16)
+                .map_err(|e| format!("bad `digest` in `{line}`: {e}"))?,
+        });
+    }
+    if rows.is_empty() {
+        return Err(format!("no eval-bench-result lines in:\n{stdout}"));
+    }
+    Ok(rows)
+}
+
+/// The `--threads-list` parent: one child process per thread count, a
+/// digest gate across all of them, and a scaling table.
+fn run_thread_sweep(args: &Args, threads_list: &[usize]) -> Result<(), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut per_thread: Vec<(usize, Vec<JsonRow>)> = Vec::new();
+    for &threads in threads_list {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.args(["--dir", &args.dir])
+            .args(["--eval-episodes", &args.episodes.to_string()])
+            .args(["--lanes", &args.lanes.to_string()])
+            .env("RAYON_NUM_THREADS", threads.to_string());
+        if let Some(filter) = &args.filter {
+            cmd.args(["--filter", filter]);
+        }
+        let out = cmd
+            .output()
+            .map_err(|e| format!("spawning child for {threads} thread(s): {e}"))?;
+        if !out.status.success() {
+            return Err(format!(
+                "child for {threads} thread(s) failed:\n{}",
+                String::from_utf8_lossy(&out.stderr)
+            ));
+        }
+        let rows = parse_child_rows(&String::from_utf8_lossy(&out.stdout))?;
+        per_thread.push((threads, rows));
+    }
+
+    println!(
+        "{:>8} {:>10} {:>14} {:>9}",
+        "threads", "secs", "batched eps/s", "speedup"
+    );
+    let total_episodes = (args.episodes * per_thread[0].1.len()) as f64;
+    let mut scaling = Vec::new();
+    for (threads, rows) in &per_thread {
+        let secs: f64 = rows.iter().map(|r| r.batched_secs).sum();
+        scaling.push((*threads, secs));
+        println!(
+            "{:>8} {:>10.3} {:>14.1} {:>8.2}x",
+            threads,
+            secs,
+            total_episodes / secs,
+            scaling[0].1 / secs
+        );
+    }
+
+    // The determinism gate: per scenario, every thread count must produce
+    // the same stats digest.
+    let (threads0, rows0) = &per_thread[0];
+    for (threads, rows) in &per_thread[1..] {
+        for (a, b) in rows0.iter().zip(rows.iter()) {
+            if a.scenario != b.scenario || a.digest != b.digest {
+                return Err(format!(
+                    "eval stats diverged across thread counts: {} ({} thread(s)) \
+                     -> {:016x}, {} ({} thread(s)) -> {:016x}",
+                    a.scenario, threads0, a.digest, b.scenario, threads, b.digest
+                ));
+            }
+        }
+    }
+    println!(
+        "determinism: per-scenario digests bit-identical across {} thread count(s)",
+        per_thread.len()
+    );
+
+    if args.write {
+        write_json(args, rows0, &scaling).map_err(|e| format!("writing BENCH_eval.json: {e}"))?;
+        println!("wrote BENCH_eval.json");
+    }
+    Ok(())
 }
 
 fn main() {
@@ -189,6 +371,14 @@ fn main() {
             usage();
         }
     };
+
+    if let Some(threads_list) = args.threads_list.clone() {
+        if let Err(e) = run_thread_sweep(&args, &threads_list) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     let dir = Path::new(&args.dir);
     let names: Vec<String> = match artifact_names(dir) {
@@ -249,16 +439,28 @@ fn main() {
         rows.len()
     );
 
-    // Greppable result lines for the cross-thread-count determinism test.
+    // Greppable result lines for the cross-thread-count determinism test
+    // and the `--threads-list` sweep parent (which rebuilds BENCH_eval.json
+    // rows from these fields).
     for row in &rows {
         println!(
-            "eval-bench-result scenario={} episodes={} digest={:016x}",
-            row.scenario, args.episodes, row.digest
+            "eval-bench-result scenario={} episodes={} serial_secs={:.6} \
+             batched_secs={:.6} accuracy={:.6} detection={:.6} avg_length={:.4} \
+             digest={:016x}",
+            row.scenario,
+            args.episodes,
+            row.serial_secs,
+            row.batched_secs,
+            row.stats.accuracy(),
+            row.stats.detection_rate(),
+            row.stats.avg_length,
+            row.digest
         );
     }
 
     if args.write {
-        if let Err(e) = write_json(&args, &rows) {
+        let json_rows: Vec<JsonRow> = rows.iter().map(Row::to_json_row).collect();
+        if let Err(e) = write_json(&args, &json_rows, &[]) {
             eprintln!("error: writing BENCH_eval.json: {e}");
             std::process::exit(1);
         }

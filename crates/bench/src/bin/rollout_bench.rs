@@ -1,23 +1,35 @@
 //! Rollout-throughput benchmark: steps/second collected by the VecEnv
-//! engine at different lane counts, against the paper's config 6
-//! environment with the default 2x128 MLP.
+//! engine at different lane counts and `RAYON_NUM_THREADS` settings,
+//! against the paper's config 6 environment with the default 2x128 MLP.
 //!
-//! Run with: `cargo run --release -p autocat-bench --bin rollout_bench
-//! [-- --write]`
+//! ```text
+//! rollout_bench                        # sweep lanes x threads, print table
+//! rollout_bench --write                # also record BENCH_rollout.json
+//! rollout_bench --threads-list 1,4
+//! ```
 //!
 //! Lane configurations are measured in interleaved repetitions and the
 //! best repetition per configuration is reported, so scheduler noise on a
 //! shared machine hits every configuration equally instead of biasing
 //! whichever one ran during a slow phase.
 //!
+//! The vendored rayon shim sizes its pool once per process, so each
+//! thread count runs in a **child process** (`--child` is the internal
+//! single-measurement mode), mirroring train-bench. Every child also
+//! digests the bytes of the batches it collected; for a fixed lane count
+//! the collected data must be bit-identical across thread counts, and the
+//! harness hard-fails if it is not.
+//!
 //! `--write` records the results to `BENCH_rollout.json` at the repository
 //! root (the committed baseline tracks regressions across PRs).
 
 use autocat::gym::{env::CacheGuessingGame, EnvConfig, VecEnv};
 use autocat::nn::models::{MlpConfig, MlpPolicy};
+use autocat::nn::state::fnv1a;
 use autocat::ppo::rollout::collect;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::process::Command;
 use std::time::Instant;
 
 const LANE_CONFIGS: [usize; 4] = [1, 2, 4, 8];
@@ -46,10 +58,14 @@ impl Harness {
         h
     }
 
-    /// Collects ~`steps` transitions, returning (steps, seconds).
-    fn run_rep(&mut self, steps: usize) -> (usize, f64) {
+    /// Collects ~`steps` transitions, returning (steps, seconds, digest of
+    /// the collected batch bytes). The digest covers actions, rewards, and
+    /// advantages of every round in order, so any cross-thread-count
+    /// nondeterminism in collection or GAE shows up as a digest mismatch.
+    fn run_rep(&mut self, steps: usize) -> (usize, f64, u64) {
         let rounds = steps.div_ceil(HORIZON);
         let mut collected = 0usize;
+        let mut bytes: Vec<u8> = Vec::new();
         let start = Instant::now();
         for _ in 0..rounds {
             let batch = collect(
@@ -61,60 +77,262 @@ impl Harness {
                 &mut self.rng,
             );
             collected += batch.actions.len();
+            for &a in &batch.actions {
+                bytes.extend((a as u64).to_le_bytes());
+            }
+            for &r in &batch.rewards {
+                bytes.extend(r.to_le_bytes());
+            }
+            for &adv in &batch.advantages {
+                bytes.extend(adv.to_le_bytes());
+            }
         }
-        (collected, start.elapsed().as_secs_f64())
+        let secs = start.elapsed().as_secs_f64();
+        (collected, secs, fnv1a(bytes))
     }
 }
 
-fn main() {
-    let write = std::env::args().any(|a| a == "--write");
-    println!(
-        "rollout throughput (config 6, MLP 2x128, horizon {HORIZON}, best of {REPS} interleaved reps)"
-    );
+struct Args {
+    threads_list: Vec<usize>,
+    child: bool,
+    write: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        threads_list: vec![1, 2, 4, 8],
+        child: false,
+        write: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--child" => args.child = true,
+            "--write" => args.write = true,
+            "--threads-list" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--threads-list requires a value".to_string())?;
+                args.threads_list = value
+                    .split(',')
+                    .map(|t| match t.trim().parse::<usize>() {
+                        // The rayon shim treats 0 as "unset" and falls back
+                        // to all cores; a row labeled 0 would be a lie.
+                        Ok(0) | Err(_) => Err(format!("bad thread count `{t}`")),
+                        Ok(n) => Ok(n),
+                    })
+                    .collect::<Result<_, _>>()?;
+                if args.threads_list.is_empty() {
+                    return Err("--threads-list needs at least one entry".into());
+                }
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// One full lane sweep in this process; returns (lanes, steps, secs,
+/// digest) per lane configuration, best-of-REPS interleaved.
+fn run_child() -> Vec<(usize, usize, f64, u64)> {
     let mut harnesses: Vec<Harness> = LANE_CONFIGS.iter().map(|&l| Harness::new(l)).collect();
     let mut best = vec![(0usize, f64::INFINITY); LANE_CONFIGS.len()];
+    // The RNG stream advances across repetitions, so each rep collects
+    // (deterministically) different data. The reported digest therefore
+    // folds every rep's digest in order — it must not depend on which rep
+    // happened to be fastest, or the cross-thread-count gate would compare
+    // timing-selected samples instead of the full deterministic stream.
+    let mut digests = vec![Vec::<u8>::new(); LANE_CONFIGS.len()];
     for _ in 0..REPS {
         for (i, h) in harnesses.iter_mut().enumerate() {
-            let (steps, secs) = h.run_rep(STEPS_PER_REP);
-            let per_step = secs / steps.max(1) as f64;
+            let (steps, secs, digest) = h.run_rep(STEPS_PER_REP);
+            digests[i].extend(digest.to_le_bytes());
             let (best_steps, best_secs) = best[i];
-            if per_step < best_secs / best_steps.max(1) as f64 {
+            if secs / (steps.max(1) as f64) < best_secs / (best_steps.max(1) as f64) {
                 best[i] = (steps, secs);
             }
         }
     }
-    println!(
-        "{:>6} {:>10} {:>10} {:>14} {:>9}",
-        "lanes", "steps", "secs", "steps/sec", "speedup"
-    );
-    let base = best[0].0 as f64 / best[0].1;
+    LANE_CONFIGS
+        .iter()
+        .zip(best)
+        .zip(digests)
+        .map(|((&lanes, (steps, secs)), bytes)| (lanes, steps, secs, fnv1a(bytes)))
+        .collect()
+}
+
+struct Row {
+    threads: usize,
+    lanes: usize,
+    steps: usize,
+    secs: f64,
+    digest: u64,
+}
+
+/// Re-executes this binary once per thread count and parses the child's
+/// per-lane result lines.
+fn run_parent(threads_list: &[usize]) -> Result<Vec<Row>, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
     let mut rows = Vec::new();
-    for (&lanes, &(steps, secs)) in LANE_CONFIGS.iter().zip(best.iter()) {
-        let sps = steps as f64 / secs;
-        println!(
-            "{:>6} {:>10} {:>10.3} {:>14.0} {:>8.2}x",
-            lanes,
-            steps,
-            secs,
-            sps,
-            sps / base
-        );
-        rows.push((lanes, steps, secs, sps));
+    for &threads in threads_list {
+        let out = Command::new(&exe)
+            .arg("--child")
+            .env("RAYON_NUM_THREADS", threads.to_string())
+            .output()
+            .map_err(|e| format!("spawning child for {threads} thread(s): {e}"))?;
+        if !out.status.success() {
+            return Err(format!(
+                "child for {threads} thread(s) failed:\n{}",
+                String::from_utf8_lossy(&out.stderr)
+            ));
+        }
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        for line in stdout
+            .lines()
+            .filter(|l| l.starts_with("rollout-bench-result"))
+        {
+            let mut lanes = None;
+            let mut steps = None;
+            let mut secs = None;
+            let mut digest = None;
+            for field in line.split_whitespace().skip(1) {
+                let (key, value) = field
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad result field `{field}`"))?;
+                match key {
+                    "lanes" => lanes = value.parse::<usize>().ok(),
+                    "steps" => steps = value.parse::<usize>().ok(),
+                    "secs" => secs = value.parse::<f64>().ok(),
+                    "digest" => digest = u64::from_str_radix(value, 16).ok(),
+                    _ => {}
+                }
+            }
+            match (lanes, steps, secs, digest) {
+                (Some(lanes), Some(steps), Some(secs), Some(digest)) => rows.push(Row {
+                    threads,
+                    lanes,
+                    steps,
+                    secs,
+                    digest,
+                }),
+                _ => return Err(format!("unparseable child result `{line}`")),
+            }
+        }
+        let produced = rows.iter().filter(|r| r.threads == threads).count();
+        if produced != LANE_CONFIGS.len() {
+            return Err(format!(
+                "child for {threads} thread(s) produced {produced} result line(s), \
+                 expected {}",
+                LANE_CONFIGS.len()
+            ));
+        }
     }
-    if write {
-        let entries: Vec<String> = rows
-            .iter()
-            .map(|(lanes, steps, secs, sps)| {
-                format!(
-                    "    {{\"lanes\": {lanes}, \"steps\": {steps}, \"secs\": {secs:.4}, \"steps_per_sec\": {sps:.1}}}"
-                )
-            })
-            .collect();
-        let json = format!(
-            "{{\n  \"benchmark\": \"rollout_throughput\",\n  \"env\": \"flush_reload_fa4\",\n  \"backbone\": \"mlp_128x128\",\n  \"horizon\": {HORIZON},\n  \"reps\": {REPS},\n  \"results\": [\n{}\n  ]\n}}\n",
-            entries.join(",\n")
+    Ok(rows)
+}
+
+fn write_json(rows: &[Row]) -> std::io::Result<()> {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"threads\": {}, \"lanes\": {}, \"steps\": {}, \"secs\": {:.4}, \
+                 \"steps_per_sec\": {:.1}, \"digest\": \"{:016x}\"}}",
+                r.threads,
+                r.lanes,
+                r.steps,
+                r.secs,
+                r.steps as f64 / r.secs,
+                r.digest
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"rollout_throughput\",\n  \"env\": \"flush_reload_fa4\",\n  \
+         \"backbone\": \"mlp_128x128\",\n  \"horizon\": {HORIZON},\n  \"reps\": {REPS},\n  \
+         \"available_cpus\": {cpus},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_rollout.json", &json)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: rollout_bench [--threads-list 1,2,4,8] [--write]");
+            std::process::exit(2);
+        }
+    };
+
+    if args.child {
+        for (lanes, steps, secs, digest) in run_child() {
+            println!(
+                "rollout-bench-result lanes={lanes} steps={steps} secs={secs:.6} \
+                 digest={digest:016x}"
+            );
+        }
+        return;
+    }
+
+    println!(
+        "rollout throughput (config 6, MLP 2x128, horizon {HORIZON}, best of {REPS} \
+         interleaved reps per thread count)"
+    );
+    let rows = match run_parent(&args.threads_list) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "{:>8} {:>6} {:>10} {:>10} {:>14} {:>9}  digest",
+        "threads", "lanes", "steps", "secs", "steps/sec", "speedup"
+    );
+    let base = rows[0].steps as f64 / rows[0].secs;
+    for r in &rows {
+        let sps = r.steps as f64 / r.secs;
+        println!(
+            "{:>8} {:>6} {:>10} {:>10.3} {:>14.0} {:>8.2}x  {:016x}",
+            r.threads,
+            r.lanes,
+            r.steps,
+            r.secs,
+            sps,
+            sps / base,
+            r.digest
         );
-        std::fs::write("BENCH_rollout.json", &json).expect("write BENCH_rollout.json");
+    }
+
+    // The determinism gate: for each lane count, every thread count must
+    // have collected bit-identical batches.
+    for &lanes in &LANE_CONFIGS {
+        let mut per_lane = rows.iter().filter(|r| r.lanes == lanes);
+        let first = per_lane.next().expect("at least one thread count");
+        if let Some(bad) = per_lane.find(|r| r.digest != first.digest) {
+            eprintln!(
+                "error: rollout diverged across thread counts at {lanes} lane(s): \
+                 {} thread(s) -> {:016x}, {} thread(s) -> {:016x}",
+                first.threads, first.digest, bad.threads, bad.digest
+            );
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "determinism: batch digests bit-identical across {} thread count(s) at every lane count",
+        args.threads_list.len()
+    );
+
+    if args.write {
+        if let Err(e) = write_json(&rows) {
+            eprintln!("error: writing BENCH_rollout.json: {e}");
+            std::process::exit(1);
+        }
         println!("wrote BENCH_rollout.json");
     }
 }

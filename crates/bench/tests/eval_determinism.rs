@@ -23,12 +23,24 @@ fn sweep_dir() -> PathBuf {
 /// Runs one `eval-bench` process and returns its result-line digests,
 /// keyed by scenario.
 fn eval_digests(dir: &std::path::Path, threads: &str) -> Vec<(String, String)> {
-    let out = Command::new(env!("CARGO_BIN_EXE_eval-bench"))
-        .args(["--dir", dir.to_str().unwrap()])
+    eval_digests_env(dir, threads, &[])
+}
+
+/// Like [`eval_digests`], with extra environment variables (e.g. a
+/// `SIMD_TIER` override) applied to the child.
+fn eval_digests_env(
+    dir: &std::path::Path,
+    threads: &str,
+    envs: &[(&str, &str)],
+) -> Vec<(String, String)> {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_eval-bench"));
+    cmd.args(["--dir", dir.to_str().unwrap()])
         .args(["--eval-episodes", "40", "--lanes", "4"])
-        .env("RAYON_NUM_THREADS", threads)
-        .output()
-        .expect("eval-bench must spawn");
+        .env("RAYON_NUM_THREADS", threads);
+    for (key, value) in envs {
+        cmd.env(key, value);
+    }
+    let out = cmd.output().expect("eval-bench must spawn");
     assert!(
         out.status.success(),
         "eval-bench failed under {threads} thread(s):\n{}",
@@ -74,4 +86,15 @@ fn batched_eval_stats_are_bit_identical_across_thread_counts() {
     let four = eval_digests(&dir, "4");
     assert_eq!(one, two, "eval stats diverged between 1 and 2 threads");
     assert_eq!(one, four, "eval stats diverged between 1 and 4 threads");
+
+    // The SIMD half of the same contract: the scalar kernel instantiation
+    // (`SIMD_TIER=scalar`) must reproduce the SIMD-tier evaluation bit for
+    // bit, threaded included. Note the checkpoint being evaluated was
+    // itself trained under the dispatch tier — the artifact is shared, so
+    // this isolates the evaluation path.
+    let scalar = eval_digests_env(&dir, "2", &[("SIMD_TIER", "scalar")]);
+    assert_eq!(
+        one, scalar,
+        "eval stats diverged between the dispatch SIMD tier and SIMD_TIER=scalar"
+    );
 }

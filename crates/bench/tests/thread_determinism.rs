@@ -13,22 +13,30 @@ use std::process::Command;
 /// Runs one `train-bench --child` measurement and returns its
 /// `(steps, digest)` fields.
 fn train_digest(threads: &str, extra: &[&str]) -> (u64, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_train-bench"))
-        .args([
-            "--child",
-            "--scenario",
-            "table4-6",
-            "--steps",
-            "2048",
-            "--lanes",
-            "4",
-            "--seed",
-            "3",
-        ])
-        .args(extra)
-        .env("RAYON_NUM_THREADS", threads)
-        .output()
-        .expect("train-bench --child must spawn");
+    train_digest_env(threads, extra, &[])
+}
+
+/// Like [`train_digest`], with extra environment variables (e.g. a
+/// `SIMD_TIER` override) applied to the child.
+fn train_digest_env(threads: &str, extra: &[&str], envs: &[(&str, &str)]) -> (u64, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_train-bench"));
+    cmd.args([
+        "--child",
+        "--scenario",
+        "table4-6",
+        "--steps",
+        "2048",
+        "--lanes",
+        "4",
+        "--seed",
+        "3",
+    ])
+    .args(extra)
+    .env("RAYON_NUM_THREADS", threads);
+    for (key, value) in envs {
+        cmd.env(key, value);
+    }
+    let out = cmd.output().expect("train-bench --child must spawn");
     assert!(
         out.status.success(),
         "child failed under {threads} thread(s):\n{}",
@@ -61,6 +69,25 @@ fn sharded_training_is_bit_identical_across_thread_counts() {
     assert_eq!(
         digest_1, digest_4,
         "weights diverged between 1 and 4 threads"
+    );
+}
+
+#[test]
+fn training_is_bit_identical_across_simd_tiers() {
+    // The SIMD half of the determinism contract: kernel results are
+    // defined by their canonical accumulation orders, so forcing the
+    // scalar kernel instantiation (`SIMD_TIER=scalar`) must reproduce the
+    // SIMD-tier training run to the last bit — including when the scalar
+    // run is also multi-threaded and sharded. (The `scalar-fallback`
+    // *feature* build is the compile-time version of the same claim; ci.sh
+    // runs the test suite under it.)
+    let (steps_simd, digest_simd) = train_digest_env("2", &["--shards", "2"], &[]);
+    let (steps_scalar, digest_scalar) =
+        train_digest_env("2", &["--shards", "2"], &[("SIMD_TIER", "scalar")]);
+    assert_eq!(steps_simd, steps_scalar, "both runs must do identical work");
+    assert_eq!(
+        digest_simd, digest_scalar,
+        "weights diverged between the dispatch SIMD tier and SIMD_TIER=scalar"
     );
 }
 

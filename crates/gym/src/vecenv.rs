@@ -346,6 +346,96 @@ impl<E: Environment + Send> VecEnv<E> {
             .map(|slot| slot.expect("every lane must be stepped"))
             .collect()
     }
+
+    /// Steps every lane once with a fused per-group *prepare* stage,
+    /// overlapping batched policy inference with environment stepping.
+    ///
+    /// Lanes are partitioned into contiguous groups of `group_len` (the
+    /// last group may be shorter). For each group, `prepare(base_lane,
+    /// group_obs, group_rows)` runs first with the group's pre-step
+    /// observations flattened row-major (rollout collection runs the
+    /// batched policy forward here), then `choose(&ctx, local_row,
+    /// lane_rng)` picks each lane's action from the prepared context and
+    /// the lane steps. Groups are distributed across rayon workers, so one
+    /// group's `prepare` overlaps other groups' environment stepping —
+    /// unlike [`VecEnv::step_each`], where the caller must finish one
+    /// whole-batch forward before any lane can move.
+    ///
+    /// Determinism: every random draw comes from the same per-lane streams
+    /// (or, with one lane, the caller's RNG in [`VecEnv::step_each`]'s
+    /// scalar-compatible order), so trajectories are bit-identical to
+    /// `step_each` for **any** `group_len` and any worker count — provided
+    /// `prepare` itself is group-local and draws no randomness. Callers
+    /// whose `prepare` is batch-size-sensitive (blocked matmul kernels)
+    /// should pick `group_len` on the kernel's row-block boundary; see
+    /// `autocat_ppo::rollout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_len` is zero.
+    pub fn step_pipelined<A, G, P, C>(
+        &mut self,
+        group_len: usize,
+        prepare: P,
+        choose: C,
+        rng: &mut StdRng,
+    ) -> Vec<LaneStep<A>>
+    where
+        A: Send,
+        P: Fn(usize, &[f32], usize) -> G + Sync,
+        C: Fn(&G, usize, &mut StdRng) -> (usize, A) + Sync,
+    {
+        assert!(group_len > 0, "group_len must be positive");
+        if self.is_scalar_compat() {
+            let lane = &mut self.lanes[0];
+            let ctx = prepare(0, &lane.obs, 1);
+            let (action, payload) = choose(&ctx, 0, rng);
+            return vec![lane.step(action, payload, rng)];
+        }
+        let obs_dim = self.obs_dim();
+        let mut results: Vec<Option<LaneStep<A>>> = Vec::new();
+        results.resize_with(self.lanes.len(), || None);
+        {
+            let prepare = &prepare;
+            let choose = &choose;
+            let run_group = move |base: usize,
+                                  lanes: &mut [Lane<E>],
+                                  out: &mut [Option<LaneStep<A>>]| {
+                // Snapshot this group's observations before stepping
+                // mutates them; groups own disjoint lane ranges, so the
+                // concatenation over groups equals a pre-step obs_flat().
+                let mut group_obs = Vec::with_capacity(lanes.len() * obs_dim);
+                for lane in lanes.iter() {
+                    group_obs.extend_from_slice(&lane.obs);
+                }
+                let ctx = prepare(base, &group_obs, lanes.len());
+                for (local, (lane, slot)) in lanes.iter_mut().zip(out.iter_mut()).enumerate() {
+                    let mut lane_rng = std::mem::replace(&mut lane.rng, StdRng::seed_from_u64(0));
+                    let (action, payload) = choose(&ctx, local, &mut lane_rng);
+                    *slot = Some(lane.step(action, payload, &mut lane_rng));
+                    lane.rng = lane_rng;
+                }
+            };
+            let mut lane_chunks = self.lanes.chunks_mut(group_len);
+            let mut result_chunks = results.chunks_mut(group_len);
+            // The caller participates: group 0 runs inline on this thread
+            // while the pool workers pipeline the rest.
+            let first = lane_chunks.next().zip(result_chunks.next());
+            rayon::scope(|scope| {
+                for (group_idx, (lanes, out)) in lane_chunks.zip(result_chunks).enumerate() {
+                    let base = (group_idx + 1) * group_len;
+                    scope.spawn(move |_| run_group(base, lanes, out));
+                }
+                if let Some((lanes, out)) = first {
+                    run_group(0, lanes, out);
+                }
+            });
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every lane must be stepped"))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -529,5 +619,77 @@ mod tests {
         let f = s[0].finished.unwrap();
         assert_eq!(f.length, 3);
         assert!((f.episode_return - (r1 + r2 + s[0].reward)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pipelined_step_matches_step_each_for_any_group_len() {
+        use rand::Rng;
+        // Fused stepping must be bit-identical to step_each regardless of
+        // how lanes are grouped (full, partial-last, degenerate groups).
+        for group_len in [1usize, 2, 3, 4, 8] {
+            let mut plain = VecEnv::new(5, game(), 33).unwrap();
+            let mut fused = VecEnv::new(5, game(), 33).unwrap();
+            let num_actions = plain.num_actions();
+            let obs_dim = plain.obs_dim();
+            let (mut ma, mut mb) = (rng(4), rng(4));
+            plain.reset_all(&mut ma);
+            fused.reset_all(&mut mb);
+            for _ in 0..64 {
+                let pre_step_obs = fused.obs_flat();
+                let ra = plain.step_each(
+                    |_, lane_rng| (lane_rng.gen_range(0..num_actions), ()),
+                    &mut ma,
+                );
+                let rb = fused.step_pipelined(
+                    group_len,
+                    |base, group_obs, group_rows| {
+                        // prepare sees this group's *pre-step* observations.
+                        assert_eq!(group_obs.len(), group_rows * obs_dim);
+                        let lo = base * obs_dim;
+                        assert_eq!(group_obs, &pre_step_obs[lo..lo + group_obs.len()]);
+                    },
+                    |_, _, lane_rng| (lane_rng.gen_range(0..num_actions), ()),
+                    &mut mb,
+                );
+                assert_eq!(ra, rb, "group_len={group_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_step_is_scalar_compatible_at_one_lane() {
+        use rand::Rng;
+        // With a single lane the pipelined step must consume the caller's
+        // RNG exactly like step_each (the scalar-compat contract), so a
+        // trailing draw from each master RNG still agrees.
+        let mut plain = VecEnv::new(1, game(), 12).unwrap();
+        let mut fused = VecEnv::new(1, game(), 12).unwrap();
+        let num_actions = plain.num_actions();
+        let (mut ma, mut mb) = (rng(8), rng(8));
+        plain.reset_all(&mut ma);
+        fused.reset_all(&mut mb);
+        for _ in 0..64 {
+            let ra = plain.step_each(
+                |_, lane_rng| (lane_rng.gen_range(0..num_actions), ()),
+                &mut ma,
+            );
+            let rb = fused.step_pipelined(
+                1,
+                |_, _, _| (),
+                |_, _, lane_rng| (lane_rng.gen_range(0..num_actions), ()),
+                &mut mb,
+            );
+            assert_eq!(ra, rb);
+        }
+        assert_eq!(ma.gen::<u64>(), mb.gen::<u64>());
+    }
+
+    #[test]
+    #[should_panic(expected = "group_len must be positive")]
+    fn pipelined_step_rejects_zero_group_len() {
+        let mut venv = VecEnv::new(2, game(), 1).unwrap();
+        let mut master = rng(0);
+        venv.reset_all(&mut master);
+        let _ = venv.step_pipelined(0, |_, _, _| (), |_, _, _| (0, ()), &mut master);
     }
 }

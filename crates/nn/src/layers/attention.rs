@@ -86,19 +86,18 @@ impl MultiHeadAttention {
         }
     }
 
-    /// Forward pass for one sequence `x: (seq_len, d_model)`.
-    pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let q = self.wq.forward(x);
-        let k = self.wk.forward(x);
-        let v = self.wv.forward(x);
+    /// Shared attention compute for one projected `(q, k, v)` triple:
+    /// per-head scaled-dot-product attention, heads concatenated. Returns
+    /// the concatenated head outputs and the per-head attention weights.
+    fn attend(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> (Matrix, Vec<Matrix>) {
         let scale = 1.0 / (self.head_dim as f32).sqrt();
-        let seq_len = x.rows();
+        let seq_len = q.rows();
         let mut concat = Matrix::zeros(seq_len, self.d_model());
         let mut attn_per_head = Vec::with_capacity(self.num_heads);
         for h in 0..self.num_heads {
-            let qh = self.slice_head(&q, h);
-            let kh = self.slice_head(&k, h);
-            let vh = self.slice_head(&v, h);
+            let qh = self.slice_head(q, h);
+            let kh = self.slice_head(k, h);
+            let vh = self.slice_head(v, h);
             let mut scores = qh.matmul_nt(&kh);
             scores.scale(scale);
             let attn = scores.softmax_rows();
@@ -106,6 +105,16 @@ impl MultiHeadAttention {
             self.scatter_head(&mut concat, &out_h, h);
             attn_per_head.push(attn);
         }
+        (concat, attn_per_head)
+    }
+
+    /// Forward pass for one sequence `x: (seq_len, d_model)`, caching
+    /// activations for a following [`MultiHeadAttention::backward`].
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let q = self.wq.forward(x);
+        let k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+        let (concat, attn_per_head) = self.attend(&q, &k, &v);
         self.cache = Some(AttnCache {
             q,
             k,
@@ -113,6 +122,16 @@ impl MultiHeadAttention {
             attn: attn_per_head,
         });
         self.wo.forward(&concat)
+    }
+
+    /// Forward pass without caching (inference only). Same math as
+    /// [`MultiHeadAttention::forward`], bit for bit.
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let q = self.wq.forward_inference(x);
+        let k = self.wk.forward_inference(x);
+        let v = self.wv.forward_inference(x);
+        let (concat, _) = self.attend(&q, &k, &v);
+        self.wo.forward_inference(&concat)
     }
 
     /// Backward pass for the sequence last passed to `forward`.

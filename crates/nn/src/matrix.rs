@@ -1,6 +1,34 @@
 //! Dense row-major `f32` matrix with the kernels needed by the layers.
+//!
+//! # Kernel layer
+//!
+//! The matmul-family kernels are written once as `#[inline(always)]`
+//! bodies generic over a [`simd::Isa`] (the per-tier 8- and 16-lane
+//! vector backend) and instantiated per instruction-set tier under
+//! `#[target_feature]` wrappers (see the `tiered_kernel!` macro below).
+//! Every vector op
+//! is lane-wise IEEE single precision with `mul_add` defined as
+//! multiply-then-add (two roundings, never fused), and cross-lane
+//! reductions go through the shim's fixed documented tree — so the
+//! scalar, AVX2, and AVX-512 tiers produce **identical bits** and differ
+//! only in speed. The scalar tier is also available as a compile-time
+//! build via the `scalar-fallback` cargo feature; CI gates
+//! simd-vs-fallback bit-identity.
+//!
+//! The canonical (bit-defining) accumulation orders are:
+//!
+//! * [`Matrix::matmul`] / [`Matrix::matmul_tn`]: vectorized across output
+//!   *columns*, so each output element still accumulates its products in
+//!   ascending-`k` order — unchanged from the pre-SIMD scalar kernels.
+//! * [`Matrix::matmul_nt`]: each output element is `dot_canonical` —
+//!   8-lane partial sums over `k` (lane `l` holds `k ≡ l (mod 8)`),
+//!   combined with [`simd::f32x8::reduce_add`]'s fixed tree, then the
+//!   ascending scalar tail. This order replaced the old linear-`k` scalar
+//!   order when the kernels were vectorized; training digests were
+//!   re-pinned once at that point.
 
 use serde::{Deserialize, Serialize};
+use simd::{Isa, SimdF32x16, SimdF32x8};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -22,6 +50,15 @@ impl Matrix {
     pub const MM_ROW_BLOCK: usize = 4;
     /// Column-block size of the register-blocked [`Matrix::matmul`] kernel.
     pub const MM_COL_BLOCK: usize = 16;
+    /// Reciprocal density threshold of [`Matrix::matmul`]'s per-block
+    /// sparse/dense dispatch: a row block takes the zero-skipping axpy path
+    /// when strictly fewer than `1 / MM_SPARSE_DENSITY_RECIP` of its
+    /// entries are nonzero (one-hot observation rows hitting the first
+    /// layer), and the packed register-blocked dense kernel otherwise. The
+    /// nonzero census early-exits the moment the dense threshold is
+    /// reached, so dense blocks pay a bounded scan instead of walking the
+    /// whole block on every call.
+    pub const MM_SPARSE_DENSITY_RECIP: usize = 4;
 
     /// Creates a `rows` x `cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -205,56 +242,15 @@ impl Matrix {
     /// Serial matmul kernel over output rows `i0..i_end`, writing into the
     /// caller's slice of those rows (`(i_end - i0) * n` values).
     fn matmul_rows(&self, other: &Matrix, i0: usize, i_end: usize, out_rows: &mut [f32]) {
-        const RB: usize = Matrix::MM_ROW_BLOCK;
-        let (inner, n) = (self.cols, other.cols);
-        // Scratch for the dense kernel's k-major repack; allocated only
-        // when a multi-row block takes the dense path (one-row forwards
-        // and narrow heads never need it).
-        let mut pack: Vec<f32> = Vec::new();
-        let base = i0;
-        let mut i0 = i0;
-        while i0 < i_end {
-            let rb = RB.min(i_end - i0);
-            let block_a = &self.data[i0 * inner..(i0 + rb) * inner];
-            // Narrow outputs (the scalar value head, small policy heads)
-            // have too little work per packed row to amortize the dense
-            // kernel's repacking; count nonzeros only when it matters.
-            let use_axpy = n < Matrix::MM_COL_BLOCK || {
-                let nonzero = block_a.iter().filter(|v| **v != 0.0).count();
-                nonzero * 4 < rb * inner
-            };
-            if use_axpy {
-                // Sparse path: skip zero inputs, full-width axpy.
-                for r in 0..rb {
-                    let a_row = &block_a[r * inner..(r + 1) * inner];
-                    let out_row = &mut out_rows[(i0 - base + r) * n..(i0 - base + r + 1) * n];
-                    for (k, &a) in a_row.iter().enumerate() {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let b_row = &other.data[k * n..(k + 1) * n];
-                        for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                            *o += a * b;
-                        }
-                    }
-                }
-            } else {
-                // rb == 1 has a pack-free fast path inside the kernel.
-                if rb > 1 && pack.is_empty() {
-                    pack.resize(RB * inner, 0.0);
-                }
-                dense_block_matmul(
-                    block_a,
-                    &other.data,
-                    &mut out_rows[(i0 - base) * n..(i0 - base + rb) * n],
-                    rb,
-                    inner,
-                    n,
-                    &mut pack,
-                );
-            }
-            i0 += rb;
-        }
+        matmul_rows_dispatch(
+            &self.data,
+            &other.data,
+            self.cols,
+            other.cols,
+            i0,
+            i_end,
+            out_rows,
+        );
     }
 
     /// Matrix product `self^T * other` without materializing the transpose.
@@ -289,23 +285,25 @@ impl Matrix {
     /// Serial `self^T * other` kernel over output rows (= columns of
     /// `self`) `i0..i_end`, writing into the caller's slice of those rows.
     fn matmul_tn_cols(&self, other: &Matrix, i0: usize, i_end: usize, out_rows: &mut [f32]) {
-        let n = other.cols;
-        for k in 0..self.rows {
-            let a_row = &self.row(k)[i0..i_end];
-            let b_row = other.row(k);
-            for (local, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out_rows[local * n..(local + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        matmul_tn_dispatch(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            i0,
+            i_end,
+            out_rows,
+        );
     }
 
     /// Matrix product `self * other^T` without materializing the transpose.
+    ///
+    /// Each output element is a `dot_canonical` product over the shared
+    /// `k` axis: 8-lane SIMD partial sums combined with the shim's fixed
+    /// reduction tree, then an ascending scalar tail. That order is the
+    /// *definition* of this kernel's result — identical across tiers,
+    /// thread counts, and the scalar-fallback build.
     ///
     /// # Panics
     ///
@@ -333,18 +331,15 @@ impl Matrix {
     /// Serial `self * other^T` kernel over output rows `i0..i_end`,
     /// writing into the caller's slice of those rows.
     fn matmul_nt_rows(&self, other: &Matrix, i0: usize, i_end: usize, out_rows: &mut [f32]) {
-        let n = other.rows;
-        for i in i0..i_end {
-            let a_row = self.row(i);
-            for j in 0..n {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out_rows[(i - i0) * n + j] = acc;
-            }
-        }
+        matmul_nt_dispatch(
+            &self.data,
+            self.cols,
+            &other.data,
+            other.rows,
+            i0,
+            i_end,
+            out_rows,
+        );
     }
 
     /// Returns the transpose.
@@ -621,12 +616,305 @@ fn run_row_chunks(
     });
 }
 
+/// Instantiates one generic kernel body per SIMD tier and dispatches on
+/// [`simd::tier()`]. Each tier pairs a `#[target_feature]` wrapper with
+/// that tier's [`simd::Isa`] vector backend: the body (and every helper it
+/// calls) is `#[inline(always)]`, so LLVM flattens the whole kernel into
+/// the wrapper and the backend's intrinsics become single 256/512-bit
+/// instructions there. (Instantiating the plain-array backend under the
+/// wrappers is not enough — LLVM refuses to form 512-bit ops for array
+/// loops and length-specializes them into spill-heavy code, which is why
+/// the backends exist.) The arithmetic is lane-wise IEEE in every backend
+/// (see the `simd` crate docs), so the tiers differ only in speed —
+/// bit-identity across tiers is asserted by tests and the
+/// `matmul-bench --check` CI gate.
+macro_rules! tiered_kernel {
+    (
+        $(#[$meta:meta])*
+        fn $dispatch:ident / $body:ident ( $($arg:ident : $ty:ty),* $(,)? )
+    ) => {
+        $(#[$meta])*
+        #[allow(clippy::too_many_arguments)] // mirrors the kernel body signature
+        fn $dispatch($($arg: $ty),*) {
+            #[cfg(all(target_arch = "x86_64", not(feature = "scalar-fallback")))]
+            {
+                #[target_feature(enable = "avx,avx2")]
+                #[allow(clippy::too_many_arguments)]
+                unsafe fn avx2($($arg: $ty),*) {
+                    $body::<simd::Avx2Isa>($($arg),*)
+                }
+                #[target_feature(enable = "avx,avx2,avx512f,avx512vl")]
+                #[allow(clippy::too_many_arguments)]
+                unsafe fn avx512($($arg: $ty),*) {
+                    $body::<simd::Avx512Isa>($($arg),*)
+                }
+                match simd::tier() {
+                    // SAFETY: `simd::tier()` reports a SIMD tier only after
+                    // runtime CPUID detection (forced tiers re-assert
+                    // detection), so the enabled features are present.
+                    simd::Tier::Avx2 => return unsafe { avx2($($arg),*) },
+                    simd::Tier::Avx512 => return unsafe { avx512($($arg),*) },
+                    simd::Tier::Scalar => {}
+                }
+            }
+            $body::<simd::ScalarIsa>($($arg),*)
+        }
+    };
+}
+
+tiered_kernel! {
+    /// Tier-dispatched [`matmul_rows_body`] (serial `a * b` over a row range).
+    fn matmul_rows_dispatch / matmul_rows_body(
+        a: &[f32],
+        b: &[f32],
+        inner: usize,
+        n: usize,
+        i0: usize,
+        i_end: usize,
+        out_rows: &mut [f32],
+    )
+}
+
+tiered_kernel! {
+    /// Tier-dispatched [`matmul_tn_body`] (serial `a^T * b` over a column range).
+    fn matmul_tn_dispatch / matmul_tn_body(
+        a: &[f32],
+        a_rows: usize,
+        a_cols: usize,
+        b: &[f32],
+        n: usize,
+        i0: usize,
+        i_end: usize,
+        out_rows: &mut [f32],
+    )
+}
+
+tiered_kernel! {
+    /// Tier-dispatched [`matmul_nt_body`] (serial `a * b^T` over a row range).
+    fn matmul_nt_dispatch / matmul_nt_body(
+        a: &[f32],
+        cols: usize,
+        b: &[f32],
+        n: usize,
+        i0: usize,
+        i_end: usize,
+        out_rows: &mut [f32],
+    )
+}
+
+/// Whether a [`Matrix::matmul`] row block should take the sparse axpy path:
+/// true when strictly fewer than `1 / MM_SPARSE_DENSITY_RECIP` of its
+/// entries are nonzero. Early-exits the scan once the dense threshold is
+/// reached (dense hidden activations bail out after ~len/4 entries instead
+/// of walking the whole block every call).
+#[inline(always)]
+fn block_is_sparse(block: &[f32]) -> bool {
+    // `nonzero * RECIP < len` <=> `nonzero < ceil(len / RECIP)` for
+    // integers, so counting stops at the first nonzero that decides it.
+    let dense_at = block.len().div_ceil(Matrix::MM_SPARSE_DENSITY_RECIP);
+    let mut nonzero = 0usize;
+    for &v in block {
+        if v != 0.0 {
+            nonzero += 1;
+            if nonzero >= dense_at {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Lane-wise `out[j] += a * b[j]` across a full row: 16-lane main loop,
+/// one optional 8-lane step, then an ascending scalar tail. Per output
+/// element this is exactly one mul and one add in the caller's `k` order —
+/// bit-identical to the scalar loop it replaced, at any vector width.
+#[inline(always)]
+fn axpy_row<I: Isa>(out: &mut [f32], a: f32, b: &[f32]) {
+    let n16 = out.len() & !(I::F16::LANES - 1);
+    let av16 = I::F16::splat(a);
+    for (oc, bc) in out[..n16]
+        .chunks_exact_mut(I::F16::LANES)
+        .zip(b[..n16].chunks_exact(I::F16::LANES))
+    {
+        I::F16::from_slice(bc)
+            .mul_add(av16, I::F16::from_slice(oc))
+            .write_to_slice(oc);
+    }
+    let mut j = n16;
+    if j + I::F8::LANES <= out.len() {
+        I::F8::from_slice(&b[j..])
+            .mul_add(I::F8::splat(a), I::F8::from_slice(&out[j..]))
+            .write_to_slice(&mut out[j..]);
+        j += I::F8::LANES;
+    }
+    for (o, &bv) in out[j..].iter_mut().zip(b[j..].iter()) {
+        *o += a * bv;
+    }
+}
+
+/// Canonical dot product defining [`Matrix::matmul_nt`]'s result.
+///
+/// Four `f32x8` stripe accumulators: 8-element chunk `c` of the shared
+/// axis accumulates into stripe `c mod 4` (the stripes exist to break the
+/// loop-carried add-latency chain a single accumulator would serialize
+/// on). The stripes then combine **lane-wise** in the fixed pair order
+/// `((s0+s1) + (s2+s3))`, the 8 lanes collapse via
+/// [`f32x8::reduce_add`]'s fixed tree, and the sub-chunk scalar tail is
+/// added in ascending `k` order. Every step is pinned, so the result is
+/// identical across tiers, thread counts, and the scalar-fallback build.
+#[inline(always)]
+fn dot_canonical<I: Isa>(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    const S: usize = 4;
+    const L: usize = 8;
+    debug_assert_eq!(L, I::F8::LANES);
+    let mut acc = [I::F8::zero(); S];
+    // Main loop: S chunks per iteration, one per stripe.
+    let k_blk = (a.len() / (S * L)) * (S * L);
+    for (ac, bc) in a[..k_blk]
+        .chunks_exact(S * L)
+        .zip(b[..k_blk].chunks_exact(S * L))
+    {
+        for (s, acc_s) in acc.iter_mut().enumerate() {
+            *acc_s =
+                I::F8::from_slice(&ac[s * L..]).mul_add(I::F8::from_slice(&bc[s * L..]), *acc_s);
+        }
+    }
+    // Leftover full chunks keep the same rule: chunk c -> stripe c mod 4
+    // (their global chunk indices continue from the blocked prefix).
+    let k8 = (a.len() / L) * L;
+    for (s, (ac, bc)) in a[k_blk..k8]
+        .chunks_exact(L)
+        .zip(b[k_blk..k8].chunks_exact(L))
+        .enumerate()
+    {
+        acc[s] = I::F8::from_slice(ac).mul_add(I::F8::from_slice(bc), acc[s]);
+    }
+    let mut sum = ((acc[0] + acc[1]) + (acc[2] + acc[3])).reduce_add();
+    for (&x, &y) in a[k8..].iter().zip(b[k8..].iter()) {
+        sum += x * y;
+    }
+    sum
+}
+
+/// Serial matmul kernel body over output rows `i0..i_end`; see
+/// [`Matrix::matmul`] for the per-block sparse/dense dispatch it applies.
+#[inline(always)]
+fn matmul_rows_body<I: Isa>(
+    a: &[f32],
+    b: &[f32],
+    inner: usize,
+    n: usize,
+    i0: usize,
+    i_end: usize,
+    out_rows: &mut [f32],
+) {
+    const RB: usize = Matrix::MM_ROW_BLOCK;
+    // Scratch for the dense kernel's k-major repack; allocated only when a
+    // multi-row block takes the dense path (one-row forwards and narrow
+    // heads never need it).
+    let mut pack: Vec<f32> = Vec::new();
+    let base = i0;
+    let mut i0 = i0;
+    while i0 < i_end {
+        let rb = RB.min(i_end - i0);
+        let block_a = &a[i0 * inner..(i0 + rb) * inner];
+        // Narrow outputs (the scalar value head, small policy heads) have
+        // too little work per packed row to amortize the dense kernel's
+        // repacking; count nonzeros only when it matters.
+        let use_axpy = n < Matrix::MM_COL_BLOCK || block_is_sparse(block_a);
+        if use_axpy {
+            // Sparse path: skip zero inputs, full-width axpy.
+            for r in 0..rb {
+                let a_row = &block_a[r * inner..(r + 1) * inner];
+                let out_row = &mut out_rows[(i0 - base + r) * n..(i0 - base + r + 1) * n];
+                for (k, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    axpy_row::<I>(out_row, av, &b[k * n..(k + 1) * n]);
+                }
+            }
+        } else {
+            // rb == 1 has a pack-free fast path inside the kernel.
+            if rb > 1 && pack.is_empty() {
+                pack.resize(RB * inner, 0.0);
+            }
+            dense_block_matmul::<I>(
+                block_a,
+                b,
+                &mut out_rows[(i0 - base) * n..(i0 - base + rb) * n],
+                rb,
+                inner,
+                n,
+                &mut pack,
+            );
+        }
+        i0 += rb;
+    }
+}
+
+/// Serial `a^T * b` kernel body over output rows (= columns of `a`)
+/// `i0..i_end`: k-row outer loop, zero-skipping axpy across output columns.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // flat-slice kernel ABI: dims are positional
+fn matmul_tn_body<I: Isa>(
+    a: &[f32],
+    a_rows: usize,
+    a_cols: usize,
+    b: &[f32],
+    n: usize,
+    i0: usize,
+    i_end: usize,
+    out_rows: &mut [f32],
+) {
+    for k in 0..a_rows {
+        let a_row = &a[k * a_cols + i0..k * a_cols + i_end];
+        let b_row = &b[k * n..(k + 1) * n];
+        for (local, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            axpy_row::<I>(&mut out_rows[local * n..(local + 1) * n], av, b_row);
+        }
+    }
+}
+
+/// Serial `a * b^T` kernel body over output rows `i0..i_end`: every output
+/// element is one `dot_canonical` over the shared `cols` axis.
+#[inline(always)]
+fn matmul_nt_body<I: Isa>(
+    a: &[f32],
+    cols: usize,
+    b: &[f32],
+    n: usize,
+    i0: usize,
+    i_end: usize,
+    out_rows: &mut [f32],
+) {
+    for i in i0..i_end {
+        let a_row = &a[i * cols..(i + 1) * cols];
+        for (j, out) in out_rows[(i - i0) * n..(i - i0 + 1) * n]
+            .iter_mut()
+            .enumerate()
+        {
+            *out = dot_canonical::<I>(a_row, &b[j * cols..(j + 1) * cols]);
+        }
+    }
+}
+
 /// Dense register-blocked micro-kernel behind [`Matrix::matmul`]: computes
 /// `out_block = a_block * b` for a block of `rb <= MM_ROW_BLOCK` rows.
 /// `a_block` is repacked k-major into `pack` so the inner loop reads it
-/// contiguously; accumulators for `MM_COL_BLOCK` output columns stay in
-/// registers across the whole k walk.
-fn dense_block_matmul(
+/// contiguously; one 16-lane accumulator per row covers a full
+/// [`Matrix::MM_COL_BLOCK`]-column block (a 512-bit register each on the
+/// AVX-512 tier) and stays live across the whole k walk, so each loaded
+/// `b` vector serves the entire row block. Column handling is full
+/// 16-wide blocks, then one 8-wide block, then an ascending scalar tail —
+/// every output element accumulates in ascending-`k` order regardless of
+/// which section it lands in (and of the vector width that carries it).
+#[inline(always)]
+fn dense_block_matmul<I: Isa>(
     a_block: &[f32],
     b: &[f32],
     out_block: &mut [f32],
@@ -637,33 +925,36 @@ fn dense_block_matmul(
 ) {
     const RB: usize = Matrix::MM_ROW_BLOCK;
     const CB: usize = Matrix::MM_COL_BLOCK;
+    const L: usize = 8;
     debug_assert!(rb <= RB && (rb == 1 || pack.len() >= RB * inner));
+    debug_assert_eq!(CB, I::F16::LANES);
+    debug_assert_eq!(L, I::F8::LANES);
     if rb == 1 {
         // One row is already k-contiguous; packing would only add traffic.
         let a_row = &a_block[..inner];
         let mut j0 = 0;
-        while j0 < n {
-            let cb = CB.min(n - j0);
-            let mut acc = [0.0f32; CB];
-            if cb == CB {
-                for (k, &a) in a_row.iter().enumerate() {
-                    let b_row: &[f32; CB] = b[k * n + j0..k * n + j0 + CB]
-                        .try_into()
-                        .expect("block width");
-                    for c in 0..CB {
-                        acc[c] += a * b_row[c];
-                    }
-                }
-            } else {
-                for (k, &a) in a_row.iter().enumerate() {
-                    let b_row = &b[k * n + j0..k * n + j0 + cb];
-                    for (c, &bv) in b_row.iter().enumerate() {
-                        acc[c] += a * bv;
-                    }
-                }
+        while j0 + CB <= n {
+            let mut acc = I::F16::zero();
+            for (k, &a) in a_row.iter().enumerate() {
+                acc = I::F16::from_slice(&b[k * n + j0..]).mul_add(I::F16::splat(a), acc);
             }
-            out_block[j0..j0 + cb].copy_from_slice(&acc[..cb]);
-            j0 += cb;
+            acc.write_to_slice(&mut out_block[j0..]);
+            j0 += CB;
+        }
+        if j0 + L <= n {
+            let mut acc = I::F8::zero();
+            for (k, &a) in a_row.iter().enumerate() {
+                acc = I::F8::from_slice(&b[k * n + j0..]).mul_add(I::F8::splat(a), acc);
+            }
+            acc.write_to_slice(&mut out_block[j0..]);
+            j0 += L;
+        }
+        for (j, out) in out_block.iter_mut().enumerate().skip(j0) {
+            let mut acc = 0.0f32;
+            for (k, &a) in a_row.iter().enumerate() {
+                acc += a * b[k * n + j];
+            }
+            *out = acc;
         }
         return;
     }
@@ -676,34 +967,43 @@ fn dense_block_matmul(
     }
     let pack = &pack[..inner * RB];
     let mut j0 = 0;
-    while j0 < n {
-        let cb = CB.min(n - j0);
-        let mut acc = [[0.0f32; CB]; RB];
-        if cb == CB {
-            for (k, av) in pack.chunks_exact(RB).enumerate() {
-                let b_row: &[f32; CB] = b[k * n + j0..k * n + j0 + CB]
-                    .try_into()
-                    .expect("block width");
-                for (acc_r, &a) in acc.iter_mut().zip(av.iter()) {
-                    for c in 0..CB {
-                        acc_r[c] += a * b_row[c];
-                    }
-                }
-            }
-        } else {
-            for (k, av) in pack.chunks_exact(RB).enumerate() {
-                let b_row = &b[k * n + j0..k * n + j0 + cb];
-                for (acc_r, &a) in acc.iter_mut().zip(av.iter()) {
-                    for (c, &bv) in b_row.iter().enumerate() {
-                        acc_r[c] += a * bv;
-                    }
-                }
+    while j0 + CB <= n {
+        let mut acc = [I::F16::zero(); RB];
+        for (k, av) in pack.chunks_exact(RB).enumerate() {
+            let bv = I::F16::from_slice(&b[k * n + j0..]);
+            for (acc_r, &a) in acc.iter_mut().zip(av.iter()) {
+                *acc_r = bv.mul_add(I::F16::splat(a), *acc_r);
             }
         }
         for (r, acc_r) in acc.iter().enumerate().take(rb) {
-            out_block[r * n + j0..r * n + j0 + cb].copy_from_slice(&acc_r[..cb]);
+            acc_r.write_to_slice(&mut out_block[r * n + j0..]);
         }
-        j0 += cb;
+        j0 += CB;
+    }
+    if j0 + L <= n {
+        let mut acc = [I::F8::zero(); RB];
+        for (k, av) in pack.chunks_exact(RB).enumerate() {
+            let bv = I::F8::from_slice(&b[k * n + j0..]);
+            for (acc_r, &a) in acc.iter_mut().zip(av.iter()) {
+                *acc_r = bv.mul_add(I::F8::splat(a), *acc_r);
+            }
+        }
+        for (r, acc_r) in acc.iter().enumerate().take(rb) {
+            acc_r.write_to_slice(&mut out_block[r * n + j0..]);
+        }
+        j0 += L;
+    }
+    for j in j0..n {
+        let mut acc = [0.0f32; RB];
+        for (k, av) in pack.chunks_exact(RB).enumerate() {
+            let bv = b[k * n + j];
+            for (acc_r, &a) in acc.iter_mut().zip(av.iter()) {
+                *acc_r += a * bv;
+            }
+        }
+        for (r, &acc_r) in acc.iter().enumerate().take(rb) {
+            out_block[r * n + j] = acc_r;
+        }
     }
 }
 

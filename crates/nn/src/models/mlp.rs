@@ -117,7 +117,7 @@ impl MlpPolicy {
 }
 
 impl PolicyValueNet for MlpPolicy {
-    fn forward(&mut self, obs: &Matrix) -> (Matrix, Vec<f32>) {
+    fn forward_inference(&self, obs: &Matrix) -> (Matrix, Vec<f32>) {
         assert_eq!(obs.cols(), self.obs_dim, "observation dim mismatch");
         let features = self.trunk_forward_inference(obs);
         let logits = self.policy_head.forward_inference(&features);

@@ -18,16 +18,29 @@ pub type RowGrad = (Vec<f32>, f32);
 /// PPO interacts with models exclusively through this trait so the MLP and
 /// Transformer backbones (paper Sec. IV-C / VI-B) are interchangeable.
 ///
-/// Implementations must be `Send`: the data-parallel trainer clones the
-/// model into per-shard replicas ([`PolicyValueNet::clone_box`]) and runs
-/// each replica's forward/backward on a worker thread.
-pub trait PolicyValueNet: Send {
-    /// Batched inference pass: returns `(logits, values)` where `logits` is
-    /// `(batch, num_actions)` and `values` has one entry per row of `obs`.
+/// Implementations must be `Send + Sync`: the data-parallel trainer clones
+/// the model into per-shard replicas ([`PolicyValueNet::clone_box`]) and
+/// runs each replica's forward/backward on a worker thread, and the fused
+/// rollout step shares one `&dyn PolicyValueNet` across lane groups so
+/// each group's [`PolicyValueNet::forward_inference`] overlaps with the
+/// other groups' environment stepping.
+pub trait PolicyValueNet: Send + Sync {
+    /// Batched inference pass through `&self`: returns `(logits, values)`
+    /// where `logits` is `(batch, num_actions)` and `values` has one entry
+    /// per row of `obs`.
     ///
-    /// No gradient state is retained; use during rollout collection and
-    /// evaluation.
-    fn forward(&mut self, obs: &Matrix) -> (Matrix, Vec<f32>);
+    /// Must not retain gradient state (it takes `&self`, so layer caches
+    /// are untouchable by construction). This is the pass rollout
+    /// collection and evaluation use; taking `&self` is what lets the
+    /// fused rollout run it concurrently from several lane groups.
+    fn forward_inference(&self, obs: &Matrix) -> (Matrix, Vec<f32>);
+
+    /// Batched inference pass via `&mut self` — a convenience wrapper over
+    /// [`PolicyValueNet::forward_inference`] for callers holding a mutable
+    /// handle. Same result, bit for bit.
+    fn forward(&mut self, obs: &Matrix) -> (Matrix, Vec<f32>) {
+        self.forward_inference(obs)
+    }
 
     /// Training pass over a minibatch.
     ///

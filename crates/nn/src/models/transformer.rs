@@ -162,6 +162,38 @@ impl TransformerPolicy {
         (logits.row(0).to_vec(), value)
     }
 
+    /// Forward for one sequence without touching any layer cache — the
+    /// same math as [`TransformerPolicy::forward_single`], bit for bit,
+    /// usable through `&self` from concurrent rollout lane groups.
+    fn forward_single_inference(&self, row: &[f32]) -> (Vec<f32>, f32) {
+        let tokens = self.tokens_from_row(row);
+        let mut x = self.embed.forward_inference(&tokens);
+        // Add positional embeddings.
+        for r in 0..x.rows() {
+            let pos_row = self.pos.value.row(r);
+            for (a, b) in x.row_mut(r).iter_mut().zip(pos_row.iter()) {
+                *a += b;
+            }
+        }
+        let attn_out = self.attn.forward_inference(&x);
+        let mut res1 = x;
+        res1.add_assign(&attn_out);
+        let y1 = self.ln1.forward_inference(&res1);
+        let ff = self.ff2.forward_inference(
+            &self
+                .ff_act
+                .forward_inference(&self.ff1.forward_inference(&y1)),
+        );
+        let mut res2 = y1;
+        res2.add_assign(&ff);
+        let y2 = self.ln2.forward_inference(&res2);
+        // Mean-pool over steps.
+        let pooled = Matrix::from_row(&y2.mean_rows());
+        let logits = self.policy_head.forward_inference(&pooled);
+        let value = self.value_head.forward_inference(&pooled)[(0, 0)];
+        (logits.row(0).to_vec(), value)
+    }
+
     /// Backward for the sequence last passed to `forward_single`.
     fn backward_single(&mut self, dlogits: &[f32], dvalue: f32) {
         let t = self.config.seq_len as f32;
@@ -197,7 +229,7 @@ impl TransformerPolicy {
 }
 
 impl PolicyValueNet for TransformerPolicy {
-    fn forward(&mut self, obs: &Matrix) -> (Matrix, Vec<f32>) {
+    fn forward_inference(&self, obs: &Matrix) -> (Matrix, Vec<f32>) {
         assert_eq!(
             obs.cols(),
             self.config.obs_dim(),
@@ -206,7 +238,7 @@ impl PolicyValueNet for TransformerPolicy {
         let mut logits = Matrix::zeros(obs.rows(), self.config.num_actions);
         let mut values = Vec::with_capacity(obs.rows());
         for i in 0..obs.rows() {
-            let (l, v) = self.forward_single(obs.row(i));
+            let (l, v) = self.forward_single_inference(obs.row(i));
             logits.row_mut(i).copy_from_slice(&l);
             values.push(v);
         }
@@ -361,6 +393,26 @@ mod tests {
             (numeric - analytic).abs() < 0.05 * analytic.abs().max(1.0),
             "numeric {numeric} vs analytic {analytic}"
         );
+    }
+
+    #[test]
+    fn inference_forward_matches_cached_training_forward_bit_for_bit() {
+        // The fused rollout samples actions from `forward_inference`
+        // while `train_batch` re-runs the caching `forward_single`; PPO's
+        // importance ratios assume both passes see the same policy.
+        let cfg = tiny_config();
+        let mut net = TransformerPolicy::new(&cfg, &mut rng());
+        let mut obs_rng = rand::rngs::StdRng::seed_from_u64(33);
+        let obs = crate::init::random_uniform(3, cfg.obs_dim(), 1.0, &mut obs_rng);
+        let (logits, values) = net.forward_inference(&obs);
+        net.zero_grad();
+        net.train_batch(&obs, &mut |i, train_logits, train_value| {
+            for (a, b) in logits.row(i).iter().zip(train_logits.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "logits diverge at row {i}");
+            }
+            assert_eq!(values[i].to_bits(), train_value.to_bits());
+            (vec![0.0; cfg.num_actions], 0.0)
+        });
     }
 
     #[test]

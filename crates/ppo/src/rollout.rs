@@ -1,17 +1,37 @@
 //! Trajectory collection and generalized advantage estimation.
 //!
-//! Collection is vectorized: a [`VecEnv`] steps N environment lanes against
-//! **one batched policy forward per step** (an N-row observation
-//! [`Matrix`]), instead of N single-row forwards. Transitions are stored
-//! time-major (`index = t * num_lanes + lane`), and GAE runs per lane so
-//! advantages never leak across lane boundaries. With one lane the
-//! collected trajectory is bit-for-bit identical to the historical scalar
-//! loop (see [`VecEnv`]'s determinism contract).
+//! Collection is vectorized *and fused*: a [`VecEnv`] steps N environment
+//! lanes against batched policy forwards, and the forward/step pipeline is
+//! overlapped — lanes are split into groups of `FUSED_GROUP_LANES`
+//! (one matmul row block), each group runs its own batched
+//! `forward_inference` and then steps its lanes, so one group's inference
+//! executes while other groups are stepping their environments
+//! ([`VecEnv::step_pipelined`]). Because groups sit on kernel row-block
+//! boundaries and every random draw comes from the per-lane RNG streams,
+//! the result is bit-identical to the strictly serialized
+//! one-whole-batch-forward-per-step schedule at every lane, group and
+//! thread count. Transitions are stored time-major
+//! (`index = t * num_lanes + lane`), and GAE runs per lane so advantages
+//! never leak across lane boundaries. With one lane the collected
+//! trajectory is bit-for-bit identical to the historical scalar loop (see
+//! [`VecEnv`]'s determinism contract).
 
 use autocat_gym::{Environment, VecEnv};
+use autocat_nn::matrix::with_inline_kernels;
 use autocat_nn::models::PolicyValueNet;
 use autocat_nn::{Categorical, Matrix};
 use rand::rngs::StdRng;
+
+/// Lanes per fused rollout group ([`VecEnv::step_pipelined`]).
+///
+/// This must be a multiple of [`Matrix::MM_ROW_BLOCK`]: the dense matmul
+/// kernel picks its sparse/dense path per `MM_ROW_BLOCK`-row block, so
+/// group boundaries on that grid guarantee every block a group forward
+/// sees is exactly a block the full-batch forward would see — which is
+/// what makes the fused collect bit-identical to one whole-batch
+/// `net.forward` per step. One kernel row block per group is the finest
+/// (most overlap-friendly) legal split.
+const FUSED_GROUP_LANES: usize = Matrix::MM_ROW_BLOCK;
 
 /// A batch of transitions collected from the environment, with advantages
 /// and value targets already computed.
@@ -141,12 +161,14 @@ pub fn gae(
 /// Collects at least `horizon` transitions across all lanes of `venv`
 /// under the current policy.
 ///
-/// Every step runs **one** batched forward over all lanes' observations,
-/// then steps each lane (in parallel across worker threads when available).
-/// Episodes auto-reset; each lane's final partial episode is bootstrapped
-/// with the value estimate of its last observation. The number of
-/// transitions returned is `horizon` rounded up to a multiple of the lane
-/// count.
+/// Every step runs batched forwards over the lanes' observations in
+/// `FUSED_GROUP_LANES`-lane groups, fused with environment stepping so
+/// inference and stepping overlap across worker threads
+/// ([`VecEnv::step_pipelined`]) — bit-identical to one whole-batch
+/// forward followed by a serial sweep over the lanes. Episodes
+/// auto-reset; each lane's final partial episode is bootstrapped with the
+/// value estimate of its last observation. The number of transitions
+/// returned is `horizon` rounded up to a multiple of the lane count.
 pub fn collect<E: Environment + Send>(
     venv: &mut VecEnv<E>,
     net: &mut dyn PolicyValueNet,
@@ -169,25 +191,34 @@ pub fn collect<E: Environment + Send>(
     let mut tally = EpisodeTally::default();
 
     venv.reset_all(rng);
+    let net_ref: &dyn PolicyValueNet = net;
     for _ in 0..t_steps {
-        let flat = venv.obs_flat();
-        let obs_mat = Matrix::from_vec(lanes, obs_dim, flat);
-        let (logits, vals) = net.forward(&obs_mat);
-        let results = venv.step_each(
-            |lane, lane_rng| {
-                let dist = Categorical::from_logits(logits.row(lane));
+        // Snapshot all lanes' observations for storage; the fused step
+        // re-reads the same (still unstepped) rows group by group.
+        obs_rows.extend_from_slice(&venv.obs_flat());
+        let results = venv.step_pipelined(
+            FUSED_GROUP_LANES,
+            |_base, group_obs, group_rows| {
+                let group_mat = Matrix::from_vec(group_rows, obs_dim, group_obs.to_vec());
+                // Pool workers run group forwards; suppress the kernels'
+                // own rayon dispatch so they never deadlock the pool and
+                // stay bit-identical (serial and parallel kernels agree).
+                with_inline_kernels(|| net_ref.forward_inference(&group_mat))
+            },
+            |(logits, vals): &(Matrix, Vec<f32>), row, lane_rng| {
+                let dist = Categorical::from_logits(logits.row(row));
                 let action = dist.sample(lane_rng);
-                (action, dist.log_prob(action))
+                (action, (dist.log_prob(action), vals[row]))
             },
             rng,
         );
-        obs_rows.extend_from_slice(obs_mat.as_slice());
-        for (lane, step) in results.into_iter().enumerate() {
+        for step in results {
+            let (logp, value) = step.payload;
             actions.push(step.action);
-            logps.push(step.payload);
+            logps.push(logp);
             rewards.push(step.reward);
             dones.push(step.done);
-            values.push(vals[lane]);
+            values.push(value);
             if let Some(finished) = step.finished {
                 tally.count += 1;
                 tally.return_sum += finished.episode_return;
@@ -465,6 +496,142 @@ mod tests {
                 "advantages must match the scalar loop"
             );
             assert_eq!(batch.actions.len(), 256);
+        }
+
+        /// The unfused multi-lane schedule `collect` used before the fused
+        /// rollout: one whole-batch forward per step, then `step_each`.
+        /// Kept verbatim as the fusion-determinism oracle.
+        struct UnfusedBatch {
+            actions: Vec<usize>,
+            logps: Vec<f32>,
+            rewards: Vec<f32>,
+            advantages: Vec<f32>,
+            returns: Vec<f32>,
+            tally: EpisodeTally,
+        }
+
+        fn unfused_reference_collect(
+            venv: &mut VecEnv<CacheGuessingGame>,
+            net: &mut dyn PolicyValueNet,
+            horizon: usize,
+            gamma: f32,
+            lambda: f32,
+            rng: &mut StdRng,
+        ) -> UnfusedBatch {
+            let lanes = venv.num_lanes();
+            let obs_dim = venv.obs_dim();
+            let t_steps = horizon.div_ceil(lanes);
+            let total = t_steps * lanes;
+            let mut actions = Vec::new();
+            let mut logps = Vec::new();
+            let mut rewards = Vec::new();
+            let mut dones = Vec::new();
+            let mut values = Vec::new();
+            let mut tally = EpisodeTally::default();
+            venv.reset_all(rng);
+            for _ in 0..t_steps {
+                let obs_mat = Matrix::from_vec(lanes, obs_dim, venv.obs_flat());
+                let (logits, vals) = net.forward(&obs_mat);
+                let results = venv.step_each(
+                    |lane, lane_rng| {
+                        let dist = Categorical::from_logits(logits.row(lane));
+                        let action = dist.sample(lane_rng);
+                        (action, dist.log_prob(action))
+                    },
+                    rng,
+                );
+                for (lane, step) in results.into_iter().enumerate() {
+                    actions.push(step.action);
+                    logps.push(step.payload);
+                    rewards.push(step.reward);
+                    dones.push(step.done);
+                    values.push(vals[lane]);
+                    if let Some(finished) = step.finished {
+                        tally.count += 1;
+                        tally.return_sum += finished.episode_return;
+                        tally.length_sum += finished.length;
+                        if let Some(correct) = step.info.guessed {
+                            tally.guessed += 1;
+                            tally.correct += usize::from(correct);
+                        }
+                        tally.detected += usize::from(step.info.detected);
+                    }
+                }
+            }
+            let boot_mat = Matrix::from_vec(lanes, obs_dim, venv.obs_flat());
+            let (_, boot_vals) = net.forward(&boot_mat);
+            let mut advantages = vec![0.0f32; total];
+            let mut returns = vec![0.0f32; total];
+            for lane in 0..lanes {
+                let lane_rewards: Vec<f32> =
+                    (0..t_steps).map(|t| rewards[t * lanes + lane]).collect();
+                let lane_dones: Vec<bool> = (0..t_steps).map(|t| dones[t * lanes + lane]).collect();
+                let mut lane_values: Vec<f32> =
+                    (0..t_steps).map(|t| values[t * lanes + lane]).collect();
+                let bootstrap = if *lane_dones.last().unwrap_or(&true) {
+                    0.0
+                } else {
+                    boot_vals[lane]
+                };
+                lane_values.push(bootstrap);
+                let (lane_adv, lane_ret) =
+                    gae(&lane_rewards, &lane_values, &lane_dones, gamma, lambda);
+                for t in 0..t_steps {
+                    advantages[t * lanes + lane] = lane_adv[t];
+                    returns[t * lanes + lane] = lane_ret[t];
+                }
+            }
+            UnfusedBatch {
+                actions,
+                logps,
+                rewards,
+                advantages,
+                returns,
+                tally,
+            }
+        }
+
+        #[test]
+        fn fused_collect_is_bit_identical_to_unfused_reference() {
+            // Lane counts chosen to exercise full groups, a partial last
+            // group, and fewer lanes than one group.
+            for lanes in [2usize, 4, 6, 8] {
+                let mut setup_rng = StdRng::seed_from_u64(40);
+                let mut venv_a = venv(lanes, 123);
+                let mut net_a = net(&venv_a, &mut setup_rng);
+                let mut rng_a = StdRng::seed_from_u64(7);
+                let batch = collect(&mut venv_a, &mut net_a, 256, 0.99, 0.95, &mut rng_a);
+
+                let mut setup_rng = StdRng::seed_from_u64(40);
+                let mut venv_b = venv(lanes, 123);
+                let mut net_b = net(&venv_b, &mut setup_rng);
+                let mut rng_b = StdRng::seed_from_u64(7);
+                let reference =
+                    unfused_reference_collect(&mut venv_b, &mut net_b, 256, 0.99, 0.95, &mut rng_b);
+
+                let bits = |xs: &[f32]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(batch.actions, reference.actions, "lanes={lanes}");
+                assert_eq!(
+                    bits(&batch.logps),
+                    bits(&reference.logps),
+                    "lanes={lanes}: fused log-probs must be bitwise identical"
+                );
+                assert_eq!(batch.rewards, reference.rewards, "lanes={lanes}");
+                assert_eq!(
+                    bits(&batch.advantages),
+                    bits(&reference.advantages),
+                    "lanes={lanes}: fused advantages must be bitwise identical"
+                );
+                assert_eq!(
+                    bits(&batch.returns),
+                    bits(&reference.returns),
+                    "lanes={lanes}: fused returns must be bitwise identical"
+                );
+                assert_eq!(batch.episodes, reference.tally, "lanes={lanes}");
+                // Both RNG streams must land in the same place.
+                use rand::Rng;
+                assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+            }
         }
 
         #[test]

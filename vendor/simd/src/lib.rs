@@ -1,0 +1,855 @@
+//! Offline stand-in for a `wide`-style portable-SIMD crate: 8- and 16-lane
+//! f32 vectors, per-tier vector backends, and a tiny runtime tier
+//! dispatcher.
+//!
+//! # Bit-exactness contract
+//!
+//! Every vector operation in this crate is defined as N *independent*
+//! IEEE-754 single-precision operations, one per lane:
+//!
+//! - `+` / `*` are plain lane-wise `f32` add / mul.
+//! - `mul_add` is `a * b + c` with **two roundings** — a multiply followed
+//!   by an add, *not* a fused FMA. This is deliberate: the scalar fallback
+//!   then computes the exact same bits with plain `*` and `+`, so no build
+//!   or CPU tier can diverge. (A true fused FMA would either make the
+//!   fallback call out to `fmaf` — slow — or silently change results
+//!   between tiers.)
+//! - `reduce_add` sums the 8 lanes in one **fixed, documented tree**:
+//!   `((l0+l1) + (l2+l3)) + ((l4+l5) + (l6+l7))`. Callers that accumulate
+//!   across a vector must go through it so the reduction order is part of
+//!   the canonical kernel definition, not an implementation accident.
+//!   There is deliberately no horizontal reduction at 16 lanes; the
+//!   canonical reduction order of the kernel layer is defined at 8 lanes.
+//!
+//! The *reference* implementations are the plain-array types [`f32x8`] and
+//! [`f32x16`]: ordinary Rust loops whose semantics are obvious from the
+//! source. They are what the scalar tier (and non-x86 targets, and the
+//! `scalar-fallback` build) executes.
+//!
+//! # Per-tier backends
+//!
+//! LLVM will not reliably turn the array loops into wide vector code — in
+//! particular it refuses to form 512-bit operations for generic x86-64
+//! (it prefers 256-bit vectors and, worse, length-specializes hot loops
+//! into spill-heavy unrolled ymm code). So each SIMD tier supplies its own
+//! backing types through the [`Isa`] trait:
+//!
+//! | ISA | 8-lane | 16-lane | backing |
+//! |-----|--------|---------|---------|
+//! | [`ScalarIsa`] | [`f32x8`] | [`f32x16`] | plain arrays |
+//! | [`Avx2Isa`]   | [`x86::f32x8y`] | [`x86::f32x16y`] | `__m256` (x2) |
+//! | [`Avx512Isa`] | [`x86::f32x8y`] | [`x86::f32x16z`] | `__m256` / `__m512` |
+//!
+//! Kernel bodies are written once, generic over `I: Isa`, and instantiated
+//! per tier under `#[target_feature]` wrappers (see `autocat_nn::matrix`).
+//! The intrinsic-backed types use only lane-wise single-precision
+//! instructions (`vaddps` / `vmulps`, never `vfmadd*`), and `reduce_add`
+//! spells out the documented tree in shuffles — so every backend produces
+//! **identical bits** to the array reference and the tiers differ only in
+//! speed. That equivalence is asserted by unit tests here, by kernel
+//! proptests in `autocat-nn`, and by the `matmul-bench --check` CI gate.
+//!
+//! # Tier selection
+//!
+//! [`tier()`] resolves once per process from, in priority order:
+//!
+//! 1. the `scalar-fallback` cargo feature (compiles the SIMD tiers out),
+//! 2. the `SIMD_TIER` env var (`scalar` | `avx2` | `avx512` | `auto`),
+//! 3. runtime CPUID detection (`is_x86_feature_detected!`).
+//!
+//! Requesting a tier the CPU cannot run is a hard error (running an
+//! `#[target_feature]` function without CPU support is UB, so we refuse
+//! loudly instead of clamping silently). [`with_forced_tier`] additionally
+//! overrides the tier for the current thread only — used by `matmul-bench`
+//! to time tiers against each other in one process. The thread-local does
+//! not propagate to rayon workers; benches must keep kernels inline
+//! (`autocat_nn::matrix::with_inline_kernels`) while forcing a tier.
+
+// Indexed `0..LANES` loops are the clearest way to spell "N independent
+// lane operations" in the reference backend; iterator rewrites obscure
+// the lane semantics the whole crate is pinned to.
+#![allow(clippy::needless_range_loop)]
+
+use std::ops::{Add, Mul};
+use std::sync::OnceLock;
+
+/// One SIMD tier's vector backend: the 8- and 16-lane types a kernel body
+/// instantiated for that tier computes with.
+///
+/// All backends are bit-identical by contract (lane-wise IEEE ops, pinned
+/// reduction tree); an `Isa` choice affects speed only.
+pub trait Isa: Copy + 'static {
+    /// 8-lane f32 vector for this tier.
+    type F8: SimdF32x8;
+    /// 16-lane f32 vector for this tier.
+    type F16: SimdF32x16;
+}
+
+/// Operations of an 8-lane f32 vector. Semantics are pinned by the
+/// reference implementation [`f32x8`]; every implementor must match it
+/// bit-for-bit on every lane.
+pub trait SimdF32x8: Copy + Add<Output = Self> + Mul<Output = Self> {
+    /// Lane count.
+    const LANES: usize = 8;
+
+    /// All lanes zero.
+    fn zero() -> Self;
+    /// Broadcasts `v` to all lanes.
+    fn splat(v: f32) -> Self;
+    /// Loads the first 8 elements of `s`. Panics if `s` is shorter.
+    fn from_slice(s: &[f32]) -> Self;
+    /// Stores the lanes into the first 8 elements of `out`. Panics if
+    /// `out` is shorter.
+    fn write_to_slice(self, out: &mut [f32]);
+    /// Lane-wise `self * b + c` with **two roundings** (multiply, then
+    /// add — never a fused FMA).
+    fn mul_add(self, b: Self, c: Self) -> Self;
+    /// Horizontal sum in the canonical fixed tree order
+    /// `((l0+l1) + (l2+l3)) + ((l4+l5) + (l6+l7))`.
+    fn reduce_add(self) -> f32;
+}
+
+/// Operations of a 16-lane f32 vector: **lane-wise only** — there is no
+/// horizontal reduction at 16 lanes (the canonical reduction order is
+/// defined at 8 lanes by [`SimdF32x8::reduce_add`]). Semantics are pinned
+/// by the reference implementation [`f32x16`].
+pub trait SimdF32x16: Copy + Add<Output = Self> + Mul<Output = Self> {
+    /// Lane count.
+    const LANES: usize = 16;
+
+    /// All lanes zero.
+    fn zero() -> Self;
+    /// Broadcasts `v` to all lanes.
+    fn splat(v: f32) -> Self;
+    /// Loads the first 16 elements of `s`. Panics if `s` is shorter.
+    fn from_slice(s: &[f32]) -> Self;
+    /// Stores the lanes into the first 16 elements of `out`. Panics if
+    /// `out` is shorter.
+    fn write_to_slice(self, out: &mut [f32]);
+    /// Lane-wise `self * b + c` with **two roundings**, exactly as
+    /// [`SimdF32x8::mul_add`].
+    fn mul_add(self, b: Self, c: Self) -> Self;
+}
+
+/// The portable backend: plain-array vectors, usable on every target.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalarIsa;
+
+impl Isa for ScalarIsa {
+    type F8 = f32x8;
+    type F16 = f32x16;
+}
+
+/// 8 lanes of `f32`. 32-byte aligned so AVX2 loads of *owned* values are
+/// aligned; slice loads go through `from_slice` and are unaligned by design.
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C, align(32))]
+pub struct f32x8([f32; 8]);
+
+impl f32x8 {
+    /// Lane count.
+    pub const LANES: usize = 8;
+    /// All lanes zero.
+    pub const ZERO: Self = Self([0.0; 8]);
+
+    /// Broadcasts `v` to all lanes.
+    #[inline(always)]
+    pub fn splat(v: f32) -> Self {
+        Self([v; 8])
+    }
+
+    /// Builds a vector from an array.
+    #[inline(always)]
+    pub fn from_array(a: [f32; 8]) -> Self {
+        Self(a)
+    }
+
+    /// Returns the lanes as an array.
+    #[inline(always)]
+    pub fn to_array(self) -> [f32; 8] {
+        self.0
+    }
+
+    /// Loads the first 8 elements of `s`. Panics if `s` is shorter.
+    #[inline(always)]
+    pub fn from_slice(s: &[f32]) -> Self {
+        assert!(s.len() >= 8);
+        // SAFETY: length checked above; `f32` has no invalid bit patterns
+        // and `read_unaligned` has no alignment requirement. A `try_into`
+        // copy can lower to a stack memcpy that defeats store-to-load
+        // forwarding; this form folds into a single unaligned load.
+        Self(unsafe { s.as_ptr().cast::<[f32; 8]>().read_unaligned() })
+    }
+
+    /// Stores the lanes into the first 8 elements of `out`. Panics if `out`
+    /// is shorter.
+    #[inline(always)]
+    pub fn write_to_slice(self, out: &mut [f32]) {
+        assert!(out.len() >= 8);
+        // SAFETY: length checked above; see `from_slice`.
+        unsafe { out.as_mut_ptr().cast::<[f32; 8]>().write_unaligned(self.0) }
+    }
+
+    /// Lane-wise `self * b + c` with **two roundings** (multiply, then add —
+    /// not a fused FMA). Bit-identical to the scalar expression
+    /// `self[i] * b[i] + c[i]` in every lane.
+    #[inline(always)]
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        let mut out = [0.0f32; 8];
+        for i in 0..8 {
+            out[i] = self.0[i] * b.0[i] + c.0[i];
+        }
+        Self(out)
+    }
+
+    /// Horizontal sum in the canonical fixed tree order
+    /// `((l0+l1) + (l2+l3)) + ((l4+l5) + (l6+l7))`.
+    ///
+    /// This order is part of the kernel bit-exactness contract; do not
+    /// "optimise" it into a linear or hardware-haddps reduction.
+    #[inline(always)]
+    pub fn reduce_add(self) -> f32 {
+        let l = self.0;
+        ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+    }
+}
+
+impl Add for f32x8 {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        let mut out = [0.0f32; 8];
+        for i in 0..8 {
+            out[i] = self.0[i] + rhs.0[i];
+        }
+        Self(out)
+    }
+}
+
+impl std::ops::AddAssign for f32x8 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul for f32x8 {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        let mut out = [0.0f32; 8];
+        for i in 0..8 {
+            out[i] = self.0[i] * rhs.0[i];
+        }
+        Self(out)
+    }
+}
+
+impl SimdF32x8 for f32x8 {
+    #[inline(always)]
+    fn zero() -> Self {
+        Self::ZERO
+    }
+    #[inline(always)]
+    fn splat(v: f32) -> Self {
+        f32x8::splat(v)
+    }
+    #[inline(always)]
+    fn from_slice(s: &[f32]) -> Self {
+        f32x8::from_slice(s)
+    }
+    #[inline(always)]
+    fn write_to_slice(self, out: &mut [f32]) {
+        f32x8::write_to_slice(self, out)
+    }
+    #[inline(always)]
+    fn mul_add(self, b: Self, c: Self) -> Self {
+        f32x8::mul_add(self, b, c)
+    }
+    #[inline(always)]
+    fn reduce_add(self) -> f32 {
+        f32x8::reduce_add(self)
+    }
+}
+
+/// 16 lanes of `f32` — two [`f32x8`]s worth — offering **lane-wise ops
+/// only**.
+///
+/// Exists so dense kernels can express 512-bit-wide column blocks: one
+/// lane-wise op here is a single zmm instruction on the AVX-512 tier, two
+/// ymm instructions on AVX2, and four xmm ops on the fallback — all
+/// bit-identical, because lane-wise IEEE operations cannot depend on the
+/// vector width they are batched into.
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct f32x16([f32; 16]);
+
+impl f32x16 {
+    /// Lane count.
+    pub const LANES: usize = 16;
+    /// All lanes zero.
+    pub const ZERO: Self = Self([0.0; 16]);
+
+    /// Broadcasts `v` to all lanes.
+    #[inline(always)]
+    pub fn splat(v: f32) -> Self {
+        Self([v; 16])
+    }
+
+    /// Builds a vector from an array.
+    #[inline(always)]
+    pub fn from_array(a: [f32; 16]) -> Self {
+        Self(a)
+    }
+
+    /// Returns the lanes as an array.
+    #[inline(always)]
+    pub fn to_array(self) -> [f32; 16] {
+        self.0
+    }
+
+    /// Loads the first 16 elements of `s`. Panics if `s` is shorter.
+    #[inline(always)]
+    pub fn from_slice(s: &[f32]) -> Self {
+        assert!(s.len() >= 16);
+        // SAFETY: length checked above; `f32` has no invalid bit patterns
+        // and `read_unaligned` has no alignment requirement. A plain
+        // `try_into` copy lowers to a 64-byte stack memcpy that defeats
+        // store-to-load forwarding; this form folds into unaligned loads.
+        Self(unsafe { s.as_ptr().cast::<[f32; 16]>().read_unaligned() })
+    }
+
+    /// Stores the lanes into the first 16 elements of `out`. Panics if
+    /// `out` is shorter.
+    #[inline(always)]
+    pub fn write_to_slice(self, out: &mut [f32]) {
+        assert!(out.len() >= 16);
+        // SAFETY: length checked above; see `from_slice` on why this is a
+        // raw unaligned write.
+        unsafe { out.as_mut_ptr().cast::<[f32; 16]>().write_unaligned(self.0) }
+    }
+
+    /// Lane-wise `self * b + c` with **two roundings**, exactly as
+    /// [`f32x8::mul_add`].
+    #[inline(always)]
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        let mut out = [0.0f32; 16];
+        for i in 0..16 {
+            out[i] = self.0[i] * b.0[i] + c.0[i];
+        }
+        Self(out)
+    }
+}
+
+impl Add for f32x16 {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        let mut out = [0.0f32; 16];
+        for i in 0..16 {
+            out[i] = self.0[i] + rhs.0[i];
+        }
+        Self(out)
+    }
+}
+
+impl Mul for f32x16 {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        let mut out = [0.0f32; 16];
+        for i in 0..16 {
+            out[i] = self.0[i] * rhs.0[i];
+        }
+        Self(out)
+    }
+}
+
+impl SimdF32x16 for f32x16 {
+    #[inline(always)]
+    fn zero() -> Self {
+        Self::ZERO
+    }
+    #[inline(always)]
+    fn splat(v: f32) -> Self {
+        f32x16::splat(v)
+    }
+    #[inline(always)]
+    fn from_slice(s: &[f32]) -> Self {
+        f32x16::from_slice(s)
+    }
+    #[inline(always)]
+    fn write_to_slice(self, out: &mut [f32]) {
+        f32x16::write_to_slice(self, out)
+    }
+    #[inline(always)]
+    fn mul_add(self, b: Self, c: Self) -> Self {
+        f32x16::mul_add(self, b, c)
+    }
+}
+
+/// Intrinsic-backed vector types for the x86 SIMD tiers.
+///
+/// # Safety contract
+///
+/// These types execute AVX / AVX-512 instructions **unconditionally** —
+/// their methods are `safe` fns for ergonomics inside generic kernel
+/// bodies, but running them on a CPU without the corresponding features is
+/// undefined behaviour. They must only be reached through the kernel tier
+/// dispatcher (which gates every tier on runtime CPUID detection) or
+/// behind an explicit `is_x86_feature_detected!` check (as the unit tests
+/// do). They are `pub` solely so kernel crates and tests can name them.
+#[cfg(all(target_arch = "x86_64", not(feature = "scalar-fallback")))]
+pub mod x86 {
+    use super::{Add, Isa, Mul, SimdF32x16, SimdF32x8};
+    use std::arch::x86_64::*;
+
+    /// The AVX2 tier: 256-bit ymm vectors throughout.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Avx2Isa;
+
+    impl Isa for Avx2Isa {
+        type F8 = f32x8y;
+        type F16 = f32x16y;
+    }
+
+    /// The AVX-512 tier: 8-lane ops stay on ymm (AVX-512VL gives them 32
+    /// registers and EVEX encodings); 16-lane ops are single zmm
+    /// instructions.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Avx512Isa;
+
+    impl Isa for Avx512Isa {
+        type F8 = f32x8y;
+        type F16 = f32x16z;
+    }
+
+    /// 8 f32 lanes in one ymm register. Bit-identical to [`super::f32x8`]:
+    /// `vmulps` / `vaddps` are lane-wise IEEE single, `mul_add` is a
+    /// multiply then an add (never `vfmadd*`), and `reduce_add` spells the
+    /// canonical tree out in shuffles.
+    #[allow(non_camel_case_types)]
+    #[derive(Clone, Copy, Debug)]
+    pub struct f32x8y(__m256);
+
+    impl SimdF32x8 for f32x8y {
+        #[inline(always)]
+        fn zero() -> Self {
+            // SAFETY: callers uphold the module contract (AVX present).
+            Self(unsafe { _mm256_setzero_ps() })
+        }
+        #[inline(always)]
+        fn splat(v: f32) -> Self {
+            // SAFETY: as `zero`.
+            Self(unsafe { _mm256_set1_ps(v) })
+        }
+        #[inline(always)]
+        fn from_slice(s: &[f32]) -> Self {
+            assert!(s.len() >= 8);
+            // SAFETY: length checked; unaligned load has no alignment
+            // requirement; AVX present per the module contract.
+            Self(unsafe { _mm256_loadu_ps(s.as_ptr()) })
+        }
+        #[inline(always)]
+        fn write_to_slice(self, out: &mut [f32]) {
+            assert!(out.len() >= 8);
+            // SAFETY: as `from_slice`.
+            unsafe { _mm256_storeu_ps(out.as_mut_ptr(), self.0) }
+        }
+        #[inline(always)]
+        fn mul_add(self, b: Self, c: Self) -> Self {
+            // Two roundings by construction: vmulps then vaddps.
+            // SAFETY: as `zero`.
+            Self(unsafe { _mm256_add_ps(_mm256_mul_ps(self.0, b.0), c.0) })
+        }
+        #[inline(always)]
+        fn reduce_add(self) -> f32 {
+            // The canonical tree ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)),
+            // operand order included:
+            //   t1 = v + v.swap_within_pairs   -> lane0 = l0+l1, lane2 = l2+l3, ...
+            //   t2 = t1 + t1.swap_pairs        -> lane0 = (l0+l1)+(l2+l3),
+            //                                     lane4 = (l4+l5)+(l6+l7)
+            //   t2[0] + t2[4]
+            // SAFETY: as `zero`.
+            unsafe {
+                let v = self.0;
+                let t1 = _mm256_add_ps(v, _mm256_permute_ps(v, 0b10_11_00_01));
+                let t2 = _mm256_add_ps(t1, _mm256_permute_ps(t1, 0b01_00_11_10));
+                let hi = _mm256_extractf128_ps(t2, 1);
+                _mm_cvtss_f32(_mm_add_ss(_mm256_castps256_ps128(t2), hi))
+            }
+        }
+    }
+
+    impl Add for f32x8y {
+        type Output = Self;
+        #[inline(always)]
+        fn add(self, rhs: Self) -> Self {
+            // SAFETY: module contract.
+            Self(unsafe { _mm256_add_ps(self.0, rhs.0) })
+        }
+    }
+
+    impl Mul for f32x8y {
+        type Output = Self;
+        #[inline(always)]
+        fn mul(self, rhs: Self) -> Self {
+            // SAFETY: module contract.
+            Self(unsafe { _mm256_mul_ps(self.0, rhs.0) })
+        }
+    }
+
+    /// 16 f32 lanes as two ymm registers (the AVX2 tier's 16-lane type).
+    /// Lane-wise ops only; trivially bit-identical to [`super::f32x16`].
+    #[allow(non_camel_case_types)]
+    #[derive(Clone, Copy, Debug)]
+    pub struct f32x16y(f32x8y, f32x8y);
+
+    impl SimdF32x16 for f32x16y {
+        #[inline(always)]
+        fn zero() -> Self {
+            Self(f32x8y::zero(), f32x8y::zero())
+        }
+        #[inline(always)]
+        fn splat(v: f32) -> Self {
+            Self(f32x8y::splat(v), f32x8y::splat(v))
+        }
+        #[inline(always)]
+        fn from_slice(s: &[f32]) -> Self {
+            assert!(s.len() >= 16);
+            Self(f32x8y::from_slice(s), f32x8y::from_slice(&s[8..]))
+        }
+        #[inline(always)]
+        fn write_to_slice(self, out: &mut [f32]) {
+            assert!(out.len() >= 16);
+            self.0.write_to_slice(out);
+            self.1.write_to_slice(&mut out[8..]);
+        }
+        #[inline(always)]
+        fn mul_add(self, b: Self, c: Self) -> Self {
+            Self(self.0.mul_add(b.0, c.0), self.1.mul_add(b.1, c.1))
+        }
+    }
+
+    impl Add for f32x16y {
+        type Output = Self;
+        #[inline(always)]
+        fn add(self, rhs: Self) -> Self {
+            Self(self.0 + rhs.0, self.1 + rhs.1)
+        }
+    }
+
+    impl Mul for f32x16y {
+        type Output = Self;
+        #[inline(always)]
+        fn mul(self, rhs: Self) -> Self {
+            Self(self.0 * rhs.0, self.1 * rhs.1)
+        }
+    }
+
+    /// 16 f32 lanes in one zmm register (the AVX-512 tier's 16-lane type).
+    /// Lane-wise ops only — `vmulps`/`vaddps` at 512 bits, never fused.
+    #[allow(non_camel_case_types)]
+    #[derive(Clone, Copy, Debug)]
+    pub struct f32x16z(__m512);
+
+    impl SimdF32x16 for f32x16z {
+        #[inline(always)]
+        fn zero() -> Self {
+            // SAFETY: module contract (AVX-512F present).
+            Self(unsafe { _mm512_setzero_ps() })
+        }
+        #[inline(always)]
+        fn splat(v: f32) -> Self {
+            // SAFETY: module contract.
+            Self(unsafe { _mm512_set1_ps(v) })
+        }
+        #[inline(always)]
+        fn from_slice(s: &[f32]) -> Self {
+            assert!(s.len() >= 16);
+            // SAFETY: length checked; unaligned load; module contract.
+            Self(unsafe { _mm512_loadu_ps(s.as_ptr()) })
+        }
+        #[inline(always)]
+        fn write_to_slice(self, out: &mut [f32]) {
+            assert!(out.len() >= 16);
+            // SAFETY: as `from_slice`.
+            unsafe { _mm512_storeu_ps(out.as_mut_ptr(), self.0) }
+        }
+        #[inline(always)]
+        fn mul_add(self, b: Self, c: Self) -> Self {
+            // Two roundings by construction: vmulps then vaddps.
+            // SAFETY: module contract.
+            Self(unsafe { _mm512_add_ps(_mm512_mul_ps(self.0, b.0), c.0) })
+        }
+    }
+
+    impl Add for f32x16z {
+        type Output = Self;
+        #[inline(always)]
+        fn add(self, rhs: Self) -> Self {
+            // SAFETY: module contract.
+            Self(unsafe { _mm512_add_ps(self.0, rhs.0) })
+        }
+    }
+
+    impl Mul for f32x16z {
+        type Output = Self;
+        #[inline(always)]
+        fn mul(self, rhs: Self) -> Self {
+            // SAFETY: module contract.
+            Self(unsafe { _mm512_mul_ps(self.0, rhs.0) })
+        }
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", not(feature = "scalar-fallback")))]
+pub use x86::{Avx2Isa, Avx512Isa};
+
+/// Instruction-set tier a kernel body may be instantiated for. Ordering is
+/// meaningful: later variants strictly extend earlier ones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Portable Rust; whatever the base target supports (SSE2 on x86-64).
+    Scalar,
+    /// 256-bit AVX2 (16 ymm registers).
+    Avx2,
+    /// 512-bit AVX-512F/VL: 16-lane ops are single zmm instructions, plus
+    /// 32 registers and EVEX encodings for the 8-lane ops.
+    Avx512,
+}
+
+impl Tier {
+    /// Canonical lowercase name (matches the `SIMD_TIER` env values).
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Scalar => "scalar",
+            Tier::Avx2 => "avx2",
+            Tier::Avx512 => "avx512",
+        }
+    }
+}
+
+/// Highest tier the running CPU supports under the current build.
+fn detected_tier() -> Tier {
+    #[cfg(all(target_arch = "x86_64", not(feature = "scalar-fallback")))]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+        {
+            return Tier::Avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Tier::Avx2;
+        }
+    }
+    Tier::Scalar
+}
+
+fn resolve_process_tier() -> Tier {
+    let detected = detected_tier();
+    let Some(requested) = std::env::var_os("SIMD_TIER") else {
+        return detected;
+    };
+    let requested = requested.to_string_lossy().to_ascii_lowercase();
+    let want = match requested.as_str() {
+        "" | "auto" => return detected,
+        "scalar" => Tier::Scalar,
+        "avx2" => Tier::Avx2,
+        "avx512" => Tier::Avx512,
+        other => panic!("SIMD_TIER={other:?}: expected scalar|avx2|avx512|auto"),
+    };
+    assert!(
+        want <= detected,
+        "SIMD_TIER={} requested but this build/CPU supports at most {} \
+         (running unsupported SIMD would be undefined behaviour)",
+        want.name(),
+        detected.name()
+    );
+    want
+}
+
+static PROCESS_TIER: OnceLock<Tier> = OnceLock::new();
+
+thread_local! {
+    static FORCED_TIER: std::cell::Cell<Option<Tier>> = const { std::cell::Cell::new(None) };
+}
+
+/// The tier kernel dispatchers should use on the current thread: a
+/// [`with_forced_tier`] override if one is active, else the process-wide
+/// tier resolved from the `scalar-fallback` feature, `SIMD_TIER`, and CPUID.
+#[inline]
+pub fn tier() -> Tier {
+    if let Some(forced) = FORCED_TIER.with(|f| f.get()) {
+        return forced;
+    }
+    *PROCESS_TIER.get_or_init(resolve_process_tier)
+}
+
+/// Runs `f` with the dispatch tier forced to `t` **on this thread only**.
+/// Panics if `t` exceeds what the CPU/build supports. Work handed to rayon
+/// workers inside `f` sees the normal process tier, so benches combining
+/// this with threaded kernels must pin kernels inline first.
+pub fn with_forced_tier<T>(t: Tier, f: impl FnOnce() -> T) -> T {
+    assert!(
+        t <= detected_tier(),
+        "with_forced_tier({}): this build/CPU supports at most {}",
+        t.name(),
+        detected_tier().name()
+    );
+    FORCED_TIER.with(|cell| {
+        let prev = cell.replace(Some(t));
+        let out = f();
+        cell.set(prev);
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanewise_ops_match_scalar_bits() {
+        let a = f32x8::from_array([1.5, -0.25, 3.75e-3, 1e30, -1e-30, 0.1, 7.0, -2.5]);
+        let b = f32x8::from_array([0.3, 1e10, -42.0, 1e-30, 1e30, 0.2, -0.5, 9.25]);
+        let c = f32x8::splat(0.125);
+        let (aa, ba, ca) = (a.to_array(), b.to_array(), c.to_array());
+        let sum = (a + b).to_array();
+        let prod = (a * b).to_array();
+        let fma = a.mul_add(b, c).to_array();
+        for i in 0..8 {
+            assert_eq!(sum[i].to_bits(), (aa[i] + ba[i]).to_bits());
+            assert_eq!(prod[i].to_bits(), (aa[i] * ba[i]).to_bits());
+            // Two roundings: multiply then add, never fused.
+            assert_eq!(fma[i].to_bits(), (aa[i] * ba[i] + ca[i]).to_bits());
+        }
+    }
+
+    #[test]
+    fn reduce_add_uses_the_documented_tree() {
+        // Values chosen so different association orders give different bits.
+        let l = [1e8f32, 1.0, -1e8, 7.5e-3, 0.1, 0.2, 0.3, -0.7];
+        let v = f32x8::from_array(l);
+        let expect = ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]));
+        assert_eq!(v.reduce_add().to_bits(), expect.to_bits());
+        let linear: f32 = l.iter().sum();
+        // Sanity: the tree order actually differs from linear for this input,
+        // so the assertion above is not vacuous.
+        assert_ne!(expect.to_bits(), linear.to_bits());
+    }
+
+    #[test]
+    fn f32x16_lanewise_ops_match_scalar_bits() {
+        let mut a = [0.0f32; 16];
+        let mut b = [0.0f32; 16];
+        for i in 0..16 {
+            a[i] = (i as f32 - 7.3) * 1.7e3;
+            b[i] = 1.0 / (i as f32 + 0.7);
+        }
+        let (va, vb, vc) = (
+            f32x16::from_array(a),
+            f32x16::from_array(b),
+            f32x16::splat(-0.375),
+        );
+        let sum = (va + vb).to_array();
+        let prod = (va * vb).to_array();
+        let fma = va.mul_add(vb, vc).to_array();
+        for i in 0..16 {
+            assert_eq!(sum[i].to_bits(), (a[i] + b[i]).to_bits());
+            assert_eq!(prod[i].to_bits(), (a[i] * b[i]).to_bits());
+            assert_eq!(fma[i].to_bits(), (a[i] * b[i] + -0.375f32).to_bits());
+        }
+        // 16 lanes behave exactly like two f32x8s over the same data.
+        let lo = f32x8::from_slice(&a).mul_add(f32x8::from_slice(&b), f32x8::splat(-0.375));
+        assert_eq!(&fma[..8], &lo.to_array());
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let src = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let v = f32x8::from_slice(&src);
+        assert_eq!(v.to_array(), [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let mut out = [0.0f32; 10];
+        v.write_to_slice(&mut out);
+        assert_eq!(&out[..8], &src[..8]);
+        assert_eq!(out[8], 0.0);
+    }
+
+    /// Exercises every op of an [`Isa`]'s backend pair against the
+    /// plain-array reference on awkward values, bit-for-bit.
+    #[cfg(all(target_arch = "x86_64", not(feature = "scalar-fallback")))]
+    fn assert_isa_matches_reference<I: Isa>() {
+        let mut a = [0.0f32; 17];
+        let mut b = [0.0f32; 17];
+        for i in 0..17 {
+            // Mix magnitudes so association/rounding differences would show.
+            a[i] = (i as f32 - 7.3) * 10f32.powi((i % 7) as i32 - 3);
+            b[i] = 1.0 / (i as f32 + 0.7) - 0.5;
+        }
+        let mut got8 = [0.0f32; 8];
+        I::F8::from_slice(&a)
+            .mul_add(I::F8::from_slice(&b), I::F8::splat(0.625))
+            .write_to_slice(&mut got8);
+        let want8 = f32x8::from_slice(&a).mul_add(f32x8::from_slice(&b), f32x8::splat(0.625));
+        assert_eq!(got8, want8.to_array());
+
+        let sum8 = (I::F8::from_slice(&a) + I::F8::from_slice(&b)).reduce_add();
+        let want_sum8 = (f32x8::from_slice(&a) + f32x8::from_slice(&b)).reduce_add();
+        assert_eq!(sum8.to_bits(), want_sum8.to_bits());
+
+        let mut got16 = [0.0f32; 16];
+        (I::F16::from_slice(&a) * I::F16::from_slice(&b))
+            .mul_add(I::F16::splat(-1.75), I::F16::from_slice(&b[1..]))
+            .write_to_slice(&mut got16);
+        let want16 = (f32x16::from_slice(&a) * f32x16::from_slice(&b))
+            .mul_add(f32x16::splat(-1.75), f32x16::from_slice(&b[1..]));
+        assert_eq!(got16, want16.to_array());
+
+        let mut gz = [1.0f32; 16];
+        I::F16::zero().write_to_slice(&mut gz);
+        assert_eq!(gz, [0.0f32; 16]);
+    }
+
+    #[cfg(all(target_arch = "x86_64", not(feature = "scalar-fallback")))]
+    #[test]
+    fn avx_backends_match_the_array_reference_bit_for_bit() {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            assert_isa_matches_reference::<Avx2Isa>();
+        }
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+        {
+            assert_isa_matches_reference::<Avx512Isa>();
+        }
+    }
+
+    #[test]
+    fn forced_tier_is_thread_local_and_restored() {
+        let base = tier();
+        let inner = with_forced_tier(Tier::Scalar, || {
+            assert_eq!(tier(), Tier::Scalar);
+            // Nested force restores the outer force on exit.
+            with_forced_tier(Tier::Scalar, tier)
+        });
+        assert_eq!(inner, Tier::Scalar);
+        assert_eq!(tier(), base);
+        let other = std::thread::spawn(tier).join().unwrap();
+        assert_eq!(other, base);
+    }
+
+    #[test]
+    fn tier_ordering_reflects_capability() {
+        assert!(Tier::Scalar < Tier::Avx2);
+        assert!(Tier::Avx2 < Tier::Avx512);
+        assert_eq!(Tier::Avx512.name(), "avx512");
+    }
+
+    #[cfg(feature = "scalar-fallback")]
+    #[test]
+    fn fallback_build_always_reports_scalar() {
+        assert_eq!(tier(), Tier::Scalar);
+    }
+}
