@@ -49,6 +49,42 @@ echo "==> smoke: scenario-run trains table4-6 for a short budget"
 cargo run --release -q -p autocat-bench --bin scenario-run -- \
     --scenario table4-6 --steps 4096 --lanes 2 --shards 2
 
+echo "==> smoke: daemon round trip is bit-identical to one-shot scenario-run"
+# Boot the daemon on a free loopback port, train a short job through it,
+# fetch the stored checkpoint, and compare byte-for-byte (plus both digest
+# lines) against `scenario-run --ckpt` of the same scenario + budget. This
+# is the service layer's determinism gate: the daemon must be a scheduler
+# around the one-shot path, never a different trainer.
+SERVE_OUT=$(mktemp -d)
+SWEEP_OUT=$(mktemp -d)
+cleanup() {
+    rm -rf "$SERVE_OUT" "$SWEEP_OUT"
+    [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+cargo build --release -q -p autocat-serve -p autocat-bench
+cargo run --release -q -p autocat-bench --bin scenario-run -- \
+    --scenario table4-6 --steps 1 --ckpt "$SERVE_OUT/oneshot.ckpt.bin" \
+    | tee "$SERVE_OUT/oneshot.log"
+cargo run --release -q -p autocat-serve -- daemon \
+    --addr 127.0.0.1:0 --store "$SERVE_OUT/store" > "$SERVE_OUT/daemon.log" &
+SERVE_PID=$!
+for _ in $(seq 50); do
+    grep -q "listening on" "$SERVE_OUT/daemon.log" && break
+    sleep 0.1
+done
+SERVE_ADDR=$(sed -n 's/^autocat-serve: listening on //p' "$SERVE_OUT/daemon.log")
+cargo run --release -q -p autocat-serve -- submit --addr "$SERVE_ADDR" \
+    --scenario table4-6 --steps 1 --wait | tee "$SERVE_OUT/daemon-job.log"
+cargo run --release -q -p autocat-serve -- fetch --addr "$SERVE_ADDR" \
+    --scenario table4-6 --out "$SERVE_OUT/daemon.ckpt.bin"
+cargo run --release -q -p autocat-serve -- gc --addr "$SERVE_ADDR" --max-count 1
+cargo run --release -q -p autocat-serve -- shutdown --addr "$SERVE_ADDR"
+wait "$SERVE_PID"; SERVE_PID=
+cmp "$SERVE_OUT/oneshot.ckpt.bin" "$SERVE_OUT/daemon.ckpt.bin"
+diff <(grep -E "^(params|eval) digest" "$SERVE_OUT/oneshot.log") \
+     <(grep -E "^(params|eval) digest" "$SERVE_OUT/daemon-job.log")
+
 echo "==> smoke: sweep golden round trip (report-only must regenerate bytes)"
 # Train a tiny sweep into a scratch directory, snapshot the reports as the
 # run's golden, then regenerate them from the artifacts alone. The
@@ -56,10 +92,15 @@ echo "==> smoke: sweep golden round trip (report-only must regenerate bytes)"
 # any divergence means trainer persistence or the report pipeline broke.
 # (Golden artifacts are produced fresh here because a committed checkpoint
 # would weigh ~2 MB; determinism makes the fresh run just as binding.)
-SWEEP_OUT=$(mktemp -d)
-trap 'rm -rf "$SWEEP_OUT"' EXIT
 cargo run --release -q -p autocat-bench --bin sweep -- \
     --filter table4-6 --steps 1 --seed 1 --lanes 2 --shards 2 --out "$SWEEP_OUT" >/dev/null
+# --resume with an up-to-date manifest must skip the (re)training entirely.
+# (stderr to a file, not a grep -q pipe: -q exits at first match and the
+# still-writing sweep would die of EPIPE.)
+cargo run --release -q -p autocat-bench --bin sweep -- \
+    --filter table4-6 --steps 1 --seed 1 --lanes 2 --shards 2 --out "$SWEEP_OUT" \
+    --resume >/dev/null 2>"$SWEEP_OUT/resume.log"
+grep -q "already complete, skipping" "$SWEEP_OUT/resume.log"
 cp "$SWEEP_OUT/report.md" "$SWEEP_OUT/golden-report.md"
 cp "$SWEEP_OUT/report.json" "$SWEEP_OUT/golden-report.json"
 cargo run --release -q -p autocat-bench --bin sweep -- \

@@ -1,7 +1,8 @@
 //! Evaluation throughput + determinism benchmark over sweep artifacts.
 //!
-//! Loads every `<name>.scenario.json` / `<name>.ckpt.json` pair under a
-//! sweep directory and evaluates each checkpointed policy three ways from
+//! Loads every `<name>.scenario.json` / `<name>.ckpt.bin` pair (legacy
+//! `.ckpt.json` artifacts are picked up as a fallback) under a sweep
+//! directory and evaluates each checkpointed policy three ways from
 //! the identical trainer state:
 //!
 //! 1. **serial** — the historical one-env `eval::evaluate` loop (timed),
@@ -25,11 +26,17 @@
 //! per thread count (mirroring train-bench) and reports a scaling curve.
 //! Per-scenario stat digests must be bit-identical across all thread
 //! counts; the sweep hard-fails otherwise.
+//!
+//! Every run also times the checkpoint *codec* round trip — the same
+//! `Value` tree serialized + written + read + parsed through the JSON
+//! interchange codec and through the binary store codec — and records the
+//! comparison under `"codec"` in `BENCH_eval.json` on `--write`.
 
 use autocat::gym::CacheGuessingGame;
 use autocat::ppo::{eval, EvalStats, Trainer};
 use autocat_bench::cli::TrainOverrides;
-use autocat_bench::sweep::{artifact_names, checkpoint_path, scenario_path};
+use autocat_bench::sweep::{artifact_names, resolve_checkpoint_path, scenario_path};
+use autocat_scenario::value;
 use autocat_scenario::Scenario;
 use std::path::Path;
 use std::time::Instant;
@@ -124,7 +131,88 @@ fn load_trainer(dir: &Path, name: &str) -> Result<Trainer<CacheGuessingGame>, St
     let err = |e: String| format!("{name}: {e}");
     let scenario = Scenario::load(scenario_path(dir, name)).map_err(err)?;
     let env = scenario.build_env().map_err(err)?;
-    Trainer::load_checkpoint(checkpoint_path(dir, name), env).map_err(err)
+    Trainer::load_checkpoint(resolve_checkpoint_path(dir, name), env).map_err(err)
+}
+
+/// Aggregate checkpoint-codec timings over every benched artifact: the
+/// same [`Value`](autocat_scenario::value::Value) tree serialized, written,
+/// read back and parsed through the JSON interchange codec and through the
+/// binary store codec. Tree construction and trainer rebuild are common to
+/// both paths and excluded — this times exactly what switching codecs
+/// changes.
+struct CodecBench {
+    files: usize,
+    reps: usize,
+    json_save_secs: f64,
+    json_load_secs: f64,
+    bin_save_secs: f64,
+    bin_load_secs: f64,
+    json_bytes: u64,
+    bin_bytes: u64,
+}
+
+impl CodecBench {
+    fn roundtrip_speedup(&self) -> f64 {
+        (self.json_save_secs + self.json_load_secs) / (self.bin_save_secs + self.bin_load_secs)
+    }
+}
+
+fn bench_codec(dir: &Path, names: &[String]) -> Result<CodecBench, String> {
+    const REPS: usize = 5;
+    let tmp = std::env::temp_dir().join(format!("eval-bench-codec-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).map_err(|e| format!("creating {}: {e}", tmp.display()))?;
+    let mut bench = CodecBench {
+        files: names.len(),
+        reps: REPS,
+        json_save_secs: 0.0,
+        json_load_secs: 0.0,
+        bin_save_secs: 0.0,
+        bin_load_secs: 0.0,
+        json_bytes: 0,
+        bin_bytes: 0,
+    };
+    for name in names {
+        let mut trainer = load_trainer(dir, name)?;
+        let tree = trainer.to_checkpoint_value();
+        let json_path = tmp.join(format!("{name}.ckpt.json"));
+        let bin_path = tmp.join(format!("{name}.ckpt.bin"));
+        for rep in 0..REPS {
+            let start = Instant::now();
+            let text = value::to_json(&tree);
+            std::fs::write(&json_path, &text).map_err(|e| format!("{name}: {e}"))?;
+            bench.json_save_secs += start.elapsed().as_secs_f64();
+            if rep == 0 {
+                bench.json_bytes += text.len() as u64;
+            }
+
+            let start = Instant::now();
+            let text = std::fs::read_to_string(&json_path).map_err(|e| format!("{name}: {e}"))?;
+            let parsed = value::from_json(&text).map_err(|e| format!("{name}: {e}"))?;
+            bench.json_load_secs += start.elapsed().as_secs_f64();
+
+            let start = Instant::now();
+            let bytes = autocat_store::codec::encode(&tree);
+            std::fs::write(&bin_path, &bytes).map_err(|e| format!("{name}: {e}"))?;
+            bench.bin_save_secs += start.elapsed().as_secs_f64();
+            if rep == 0 {
+                bench.bin_bytes += bytes.len() as u64;
+            }
+
+            let start = Instant::now();
+            let bytes = std::fs::read(&bin_path).map_err(|e| format!("{name}: {e}"))?;
+            let decoded =
+                autocat_store::codec::decode(&bytes).map_err(|e| format!("{name}: {e}"))?;
+            bench.bin_load_secs += start.elapsed().as_secs_f64();
+
+            // Both loaded trees must equal the source tree — a timing win
+            // from a codec that drops bits would be worthless.
+            if parsed != tree || decoded != tree {
+                return Err(format!("{name}: codec round trip is not bit-exact"));
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+    Ok(bench)
 }
 
 struct Row {
@@ -204,7 +292,12 @@ impl Row {
 /// `(threads, total batched secs across scenarios)` per sweep point.
 type ScalingPoint = (usize, f64);
 
-fn write_json(args: &Args, rows: &[JsonRow], scaling: &[ScalingPoint]) -> std::io::Result<()> {
+fn write_json(
+    args: &Args,
+    rows: &[JsonRow],
+    scaling: &[ScalingPoint],
+    codec: &CodecBench,
+) -> std::io::Result<()> {
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -248,9 +341,24 @@ fn write_json(args: &Args, rows: &[JsonRow], scaling: &[ScalingPoint]) -> std::i
             scaling_entries.join(",\n")
         )
     };
+    let codec_json = format!(
+        ",\n  \"codec\": {{\"files\": {}, \"reps\": {}, \
+         \"json_save_ms\": {:.3}, \"json_load_ms\": {:.3}, \
+         \"bin_save_ms\": {:.3}, \"bin_load_ms\": {:.3}, \
+         \"json_bytes\": {}, \"bin_bytes\": {}, \"roundtrip_speedup\": {:.2}}}",
+        codec.files,
+        codec.reps,
+        codec.json_save_secs * 1e3,
+        codec.json_load_secs * 1e3,
+        codec.bin_save_secs * 1e3,
+        codec.bin_load_secs * 1e3,
+        codec.json_bytes,
+        codec.bin_bytes,
+        codec.roundtrip_speedup()
+    );
     let json = format!(
         "{{\n  \"benchmark\": \"eval_throughput\",\n  \"episodes\": {},\n  \"lanes\": {},\n  \
-         \"available_cpus\": {cpus},\n  \"results\": [\n{}\n  ]{scaling_json}\n}}\n",
+         \"available_cpus\": {cpus},\n  \"results\": [\n{}\n  ]{codec_json}{scaling_json}\n}}\n",
         args.episodes,
         args.lanes,
         entries.join(",\n")
@@ -357,10 +465,57 @@ fn run_thread_sweep(args: &Args, threads_list: &[usize]) -> Result<(), String> {
     );
 
     if args.write {
-        write_json(args, rows0, &scaling).map_err(|e| format!("writing BENCH_eval.json: {e}"))?;
+        // The codec comparison is single-threaded and thread-count
+        // independent; run it once in the parent.
+        let names = artifact_names_filtered(args)?;
+        let codec = bench_codec(Path::new(&args.dir), &names)?;
+        print_codec(&codec);
+        write_json(args, rows0, &scaling, &codec)
+            .map_err(|e| format!("writing BENCH_eval.json: {e}"))?;
         println!("wrote BENCH_eval.json");
     }
     Ok(())
+}
+
+/// The artifact names this invocation benches (filter applied, report
+/// order).
+fn artifact_names_filtered(args: &Args) -> Result<Vec<String>, String> {
+    let names: Vec<String> = artifact_names(Path::new(&args.dir))?
+        .into_iter()
+        .filter(|n| args.filter.as_ref().is_none_or(|f| n.contains(f.as_str())))
+        .collect();
+    if names.is_empty() {
+        return Err(format!(
+            "no scenario artifacts under {} (run a training sweep first)",
+            args.dir
+        ));
+    }
+    Ok(names)
+}
+
+fn print_codec(codec: &CodecBench) {
+    println!(
+        "codec: JSON save+load {:.1}ms, binary save+load {:.1}ms over {} file(s) x {} rep(s) \
+         -> {:.2}x ({} -> {} bytes)",
+        (codec.json_save_secs + codec.json_load_secs) * 1e3,
+        (codec.bin_save_secs + codec.bin_load_secs) * 1e3,
+        codec.files,
+        codec.reps,
+        codec.roundtrip_speedup(),
+        codec.json_bytes,
+        codec.bin_bytes
+    );
+    println!(
+        "eval-bench-codec files={} reps={} json_save_secs={:.6} json_load_secs={:.6} \
+         bin_save_secs={:.6} bin_load_secs={:.6} roundtrip_speedup={:.4}",
+        codec.files,
+        codec.reps,
+        codec.json_save_secs,
+        codec.json_load_secs,
+        codec.bin_save_secs,
+        codec.bin_load_secs,
+        codec.roundtrip_speedup()
+    );
 }
 
 fn main() {
@@ -381,23 +536,13 @@ fn main() {
     }
 
     let dir = Path::new(&args.dir);
-    let names: Vec<String> = match artifact_names(dir) {
-        Ok(names) => names
-            .into_iter()
-            .filter(|n| args.filter.as_ref().is_none_or(|f| n.contains(f.as_str())))
-            .collect(),
+    let names: Vec<String> = match artifact_names_filtered(&args) {
+        Ok(names) => names,
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);
         }
     };
-    if names.is_empty() {
-        eprintln!(
-            "error: no scenario artifacts under {} (run a training sweep first)",
-            dir.display()
-        );
-        std::process::exit(1);
-    }
 
     println!(
         "evaluation throughput: {} scenario(s) under {}, {} episodes, {} lanes",
@@ -458,9 +603,20 @@ fn main() {
         );
     }
 
+    // The codec save/load comparison (the binary-vs-JSON checkpoint
+    // round trip) — always timed and printed; recorded on --write.
+    let codec = match bench_codec(dir, &names) {
+        Ok(codec) => codec,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    print_codec(&codec);
+
     if args.write {
         let json_rows: Vec<JsonRow> = rows.iter().map(Row::to_json_row).collect();
-        if let Err(e) = write_json(&args, &json_rows, &[]) {
+        if let Err(e) = write_json(&args, &json_rows, &[], &codec) {
             eprintln!("error: writing BENCH_eval.json: {e}");
             std::process::exit(1);
         }

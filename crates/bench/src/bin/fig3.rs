@@ -1,5 +1,11 @@
 //! Fig. 3: conflict-miss event trains and autocorrelograms for the
 //! textbook, RL-baseline and RL-autocor agents.
+//!
+//! `--cache DIR` keeps the two RL agents' checkpoints under `DIR`
+//! (`fig3-<label>.ckpt.bin`): present checkpoints are loaded through the
+//! binary fast path (JSON files from older runs decode too — the loader
+//! sniffs the codec) instead of retraining, so iterating on the figure's
+//! rendering no longer pays two training runs per invocation.
 
 use autocat::attacks::textbook::{run_scripted_multi, TextbookPrimeProbe};
 use autocat::detect::EventTrain;
@@ -7,6 +13,36 @@ use autocat::gym::{EnvConfig, Environment, MultiGuessConfig, MultiGuessEnv};
 use autocat::ppo::{eval, Backbone, PpoConfig, Trainer};
 use autocat_bench::{print_header, Budget};
 use rand::SeedableRng;
+
+/// Returns the RL agent for one figure lane: loaded from the cache
+/// directory when a checkpoint is present, freshly trained (and cached)
+/// otherwise.
+fn trained_agent(
+    label: &str,
+    env: MultiGuessEnv,
+    budget: Budget,
+    cache: Option<&str>,
+) -> Result<Trainer<MultiGuessEnv>, String> {
+    let path = cache.map(|dir| std::path::Path::new(dir).join(format!("fig3-{label}.ckpt.bin")));
+    if let Some(path) = path.as_ref().filter(|p| p.exists()) {
+        eprintln!("fig3: loading {label} from {}", path.display());
+        return Trainer::load_checkpoint(path, env);
+    }
+    let mut trainer = Trainer::new(
+        env,
+        Backbone::Mlp {
+            hidden: vec![64, 64],
+        },
+        PpoConfig::small_env(),
+        7,
+    );
+    trainer.train_until(8.0, budget.max_steps());
+    if let Some(path) = path {
+        trainer.save_checkpoint(&path)?;
+        eprintln!("fig3: cached {label} at {}", path.display());
+    }
+    Ok(trainer)
+}
 
 fn render_train(label: &str, train: &EventTrain) {
     let bits: String = train
@@ -42,6 +78,23 @@ fn render_autocorrelogram(label: &str, train: &EventTrain) {
 
 fn main() {
     let budget = Budget::from_env();
+    let mut cache = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--cache" => match it.next() {
+                Some(dir) => cache = Some(dir),
+                None => {
+                    eprintln!("error: --cache requires a value");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag `{other}`\nusage: fig3 [--cache DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     print_header("Fig. 3: event trains and autocorrelograms", "");
 
@@ -60,15 +113,13 @@ fn main() {
             cfg = cfg.with_autocorr(-8.0, 30);
         }
         let env = MultiGuessEnv::new(cfg).unwrap();
-        let mut trainer = Trainer::new(
-            env,
-            Backbone::Mlp {
-                hidden: vec![64, 64],
-            },
-            PpoConfig::small_env(),
-            7,
-        );
-        trainer.train_until(8.0, budget.max_steps());
+        let mut trainer = match trained_agent(label, env, budget, cache.as_deref()) {
+            Ok(trainer) => trainer,
+            Err(e) => {
+                eprintln!("error: {label}: {e}");
+                std::process::exit(1);
+            }
+        };
         let (env, net, rng2) = trainer.parts_mut();
         // Evaluate the trained agent and *report* the stats (this call
         // used to be discarded, silently serving only to advance the RNG

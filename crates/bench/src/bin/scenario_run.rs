@@ -7,9 +7,22 @@
 //! scenario-run --scenario table4-1 --steps 50000 --seed 3 --lanes 4
 //! scenario-run --scenario table4-6 --shards 8 --threads 8   # data-parallel update
 //! scenario-run --scenario table4-16 --export cfg16.toml   # write, don't run
+//! scenario-run --scenario table4-3 --ckpt runs/t3.ckpt.bin  # train-or-load + digests
 //! ```
+//!
+//! `--ckpt PATH` routes the run through the checkpoint layer: when the
+//! file exists the policy is loaded from it (binary fast path, JSON
+//! fallback — the codec is sniffed from the bytes) and only evaluated;
+//! otherwise the scenario trains through the same shared path the sweep
+//! and the serving daemon use and the checkpoint is written there. Either
+//! way the run prints `params digest`/`eval digest` lines, which is what
+//! lets ci.sh assert a daemon-trained checkpoint is bit-identical to this
+//! one-shot equivalent.
 
+use autocat::nn::state::params_digest;
+use autocat::ppo::Trainer;
 use autocat_bench::cli::TrainOverrides;
+use autocat_bench::sweep::{row_and_stats, train_trainer};
 use autocat_scenario::Scenario;
 
 struct Args {
@@ -17,6 +30,7 @@ struct Args {
     file: Option<String>,
     overrides: TrainOverrides,
     export: Option<String>,
+    ckpt: Option<String>,
     list: bool,
 }
 
@@ -26,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         file: None,
         overrides: TrainOverrides::default(),
         export: None,
+        ckpt: None,
         list: false,
     };
     let mut it = std::env::args().skip(1);
@@ -39,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
             "--scenario" => args.scenario = Some(value("--scenario")?),
             "--file" => args.file = Some(value("--file")?),
             "--export" => args.export = Some(value("--export")?),
+            "--ckpt" => args.ckpt = Some(value("--ckpt")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -49,9 +65,40 @@ fn usage() -> ! {
     eprintln!(
         "usage: scenario-run [--list] [--scenario <name> | --file <path>] \
          [--steps N] [--seed N] [--lanes N] [--eval-episodes N] [--shards N] [--threads N] \
-         [--export <path>]"
+         [--export <path>] [--ckpt <path>]"
     );
     std::process::exit(2);
+}
+
+/// The `--ckpt` path: load the checkpoint if present, else train through
+/// the shared sweep/daemon code path and save it. Prints the row plus the
+/// two bit-identity fingerprints.
+fn run_with_checkpoint(scenario: &Scenario, ckpt: &str) -> Result<(), String> {
+    let path = std::path::Path::new(ckpt);
+    let mut trainer = if path.exists() {
+        println!("loading  : {ckpt}");
+        let env = scenario.build_env()?;
+        Trainer::load_checkpoint(path, env)?
+    } else {
+        let mut trainer = train_trainer(scenario, |_, _| {})?;
+        trainer.save_checkpoint(path)?;
+        println!("wrote    : {ckpt}");
+        trainer
+    };
+    let (row, stats) = row_and_stats(&mut trainer, scenario);
+    println!("sequence : {}", row.sequence);
+    println!("category : {}", row.category);
+    println!(
+        "accuracy : {:.3} over {} episodes (detection rate {:.3})",
+        row.accuracy(),
+        row.eval_episodes,
+        row.detection_rate()
+    );
+    println!("steps    : {}", row.steps);
+    let (_, net, _) = trainer.parts_mut();
+    println!("params digest : {:016x}", params_digest(net));
+    println!("eval digest   : {:016x}", stats.digest());
+    Ok(())
 }
 
 fn main() {
@@ -102,6 +149,13 @@ fn main() {
         scenario.train.seed,
         scenario.train.ppo.num_lanes
     );
+    if let Some(ckpt) = &args.ckpt {
+        if let Err(e) = run_with_checkpoint(&scenario, ckpt) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let report = scenario.run().unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);

@@ -7,8 +7,16 @@
 //! sweep --list                                  # scenarios a sweep would cover
 //! sweep --filter table4 --steps 20000           # train all 17 Table IV rows
 //! sweep --filter table4-6 --out runs/fr         # one scenario, custom dir
+//! sweep --filter table4 --resume                # continue an interrupted sweep
 //! sweep --report-only --out runs/fr             # report from artifacts alone
 //! ```
+//!
+//! `--resume` consults the per-run manifest (`manifest.json`): scenarios
+//! whose recorded train-spec digest matches the current spec (after
+//! overrides) and whose artifacts are on disk are skipped, and their
+//! report rows are regenerated from the checkpoints instead — an
+//! interrupted multi-scenario sweep continues in slices instead of
+//! retraining from zero.
 //!
 //! The written report always covers **every** artifact under `--out`: a
 //! filtered training run re-reads rows for previously-trained scenarios
@@ -21,8 +29,8 @@
 
 use autocat_bench::cli::TrainOverrides;
 use autocat_bench::sweep::{
-    artifact_names, fill_missing_rows, row_from_artifacts, sort_rows, train_one, write_report,
-    SweepRow,
+    artifact_names, fill_missing_rows, resume_complete, row_from_artifacts, sort_rows, train_one,
+    write_report, SweepRow,
 };
 use std::path::Path;
 
@@ -31,6 +39,7 @@ struct Args {
     overrides: TrainOverrides,
     out: String,
     report_only: bool,
+    resume: bool,
     list: bool,
 }
 
@@ -40,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         overrides: TrainOverrides::default(),
         out: "runs/sweep".to_string(),
         report_only: false,
+        resume: false,
         list: false,
     };
     let mut it = std::env::args().skip(1);
@@ -51,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--list" => args.list = true,
             "--report-only" => args.report_only = true,
+            "--resume" => args.resume = true,
             "--filter" => args.filter = Some(value("--filter")?),
             "--out" => args.out = value("--out")?,
             other => return Err(format!("unknown flag `{other}`")),
@@ -63,13 +74,16 @@ fn parse_args() -> Result<Args, String> {
              --filter/--steps/--seed/--lanes/--eval-episodes/--shards/--threads"
             .into());
     }
+    if args.report_only && args.resume {
+        return Err("--resume is a training flag; --report-only never trains".into());
+    }
     Ok(args)
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sweep [--list] [--filter SUBSTR] [--steps N] [--seed N] [--lanes N] \
-         [--eval-episodes N] [--shards N] [--threads N] [--out DIR] [--report-only]"
+         [--eval-episodes N] [--shards N] [--threads N] [--out DIR] [--resume] [--report-only]"
     );
     std::process::exit(2);
 }
@@ -90,6 +104,30 @@ fn train_all(args: &Args, out: &Path) -> Result<Vec<SweepRow>, String> {
         args.overrides.apply(scenario);
     }
     std::fs::create_dir_all(out).map_err(|e| format!("creating {}: {e}", out.display()))?;
+
+    if args.resume {
+        // Skip scenarios whose artifacts are already complete for this
+        // exact spec (manifest digest match + files on disk). Their rows
+        // come back through `fill_missing_rows`, so the report still
+        // covers them.
+        let before = scenarios.len();
+        scenarios.retain(|scenario| {
+            let done = resume_complete(out, scenario);
+            if done {
+                eprintln!(
+                    "sweep: {:<24} already complete, skipping (--resume)",
+                    scenario.name
+                );
+            }
+            !done
+        });
+        if scenarios.is_empty() {
+            eprintln!("sweep: all {before} scenario(s) already complete; regenerating report");
+            let mut rows = Vec::new();
+            fill_missing_rows(out, &mut rows)?;
+            return Ok(rows);
+        }
+    }
 
     eprintln!(
         "sweep: training {} scenario(s) across up to {} rayon worker(s) -> {}",

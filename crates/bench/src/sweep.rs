@@ -30,11 +30,21 @@
 //! ```text
 //! runs/sweep/
 //!   table4-1.scenario.json    # the exact scenario trained (with overrides)
-//!   table4-1.ckpt.json        # its policy/optimizer/RNG checkpoint
+//!   table4-1.ckpt.bin         # its policy/optimizer/RNG checkpoint (binary)
 //!   ...
+//!   manifest.json             # scenario name -> train-spec digest (resume key)
 //!   report.md                 # the Table IV reproduction report
 //!   report.json               # the same rows, machine-readable
 //! ```
+//!
+//! Checkpoints are written in the compact binary codec (`.ckpt.bin`, the
+//! hot path); directories from older runs holding `.ckpt.json` artifacts
+//! keep working — [`resolve_checkpoint_path`] falls back to the JSON
+//! file, and the trainer's loader sniffs the codec from the bytes either
+//! way. The manifest records the exact train spec each checkpoint came
+//! from, so `sweep --resume` can skip scenarios that are already done
+//! (same name, same spec) and an interrupted multi-scenario sweep
+//! continues in slices instead of retraining from zero.
 
 use autocat::attacks::classify::classify_sequence;
 use autocat::gym::{Action, CacheGuessingGame};
@@ -109,14 +119,41 @@ impl SweepRow {
     }
 }
 
-/// Checkpoint file for a scenario name under `out`.
+/// Checkpoint file a sweep **writes** for a scenario name under `out`:
+/// the binary fast path.
 pub fn checkpoint_path(out: &Path, name: &str) -> PathBuf {
-    out.join(format!("{name}.ckpt.json"))
+    out.join(format!("{name}.ckpt.bin"))
+}
+
+/// Checkpoint file to **load** for a scenario name under `out`: the
+/// binary artifact when present, otherwise the legacy `.ckpt.json` from
+/// pre-binary-codec runs (the loader sniffs the codec from the bytes, so
+/// either decodes). Falls back to the binary path when neither exists so
+/// error messages name the file a fresh run would have written.
+pub fn resolve_checkpoint_path(out: &Path, name: &str) -> PathBuf {
+    let binary = checkpoint_path(out, name);
+    if binary.exists() {
+        return binary;
+    }
+    let json = out.join(format!("{name}.ckpt.json"));
+    if json.exists() {
+        json
+    } else {
+        binary
+    }
 }
 
 /// Scenario sidecar file for a scenario name under `out`.
 pub fn scenario_path(out: &Path, name: &str) -> PathBuf {
     out.join(format!("{name}.scenario.json"))
+}
+
+/// The train-spec digest of a scenario: FNV-1a over its canonical JSON
+/// (after any CLI overrides). This is the second half of the store/
+/// manifest index key — two submissions of one scenario name with
+/// different seeds, budgets or lane counts index separately.
+pub fn spec_digest(scenario: &Scenario) -> u64 {
+    autocat::nn::state::fnv1a(scenario.to_json().into_bytes())
 }
 
 /// Decodes a report row from a trainer whose state equals the checkpoint
@@ -130,6 +167,19 @@ pub fn scenario_path(out: &Path, name: &str) -> PathBuf {
 /// sequence is the first (preferring correct) episode of the majority
 /// category.
 fn report_row(trainer: &mut Trainer<CacheGuessingGame>, scenario: &Scenario) -> SweepRow {
+    row_and_stats(trainer, scenario).0
+}
+
+/// The evaluated [`SweepRow`] plus the raw [`eval::EvalStats`] it was decoded
+/// from. Public so every consumer of a checkpoint-equivalent trainer —
+/// the sweep, `scenario-run --ckpt`, the serving daemon — evaluates
+/// through the *same* code path and therefore produces the same stats
+/// digest for the same checkpoint (the daemon/one-shot bit-identity
+/// gate in ci.sh compares exactly this).
+pub fn row_and_stats(
+    trainer: &mut Trainer<CacheGuessingGame>,
+    scenario: &Scenario,
+) -> (SweepRow, eval::EvalStats) {
     let steps = trainer.total_steps();
     let final_return = trainer.avg_return();
     let converged = final_return >= scenario.train.return_threshold;
@@ -193,7 +243,7 @@ fn report_row(trainer: &mut Trainer<CacheGuessingGame>, scenario: &Scenario) -> 
         })
         .unwrap_or_default();
 
-    SweepRow {
+    let row = SweepRow {
         scenario: scenario.name.clone(),
         summary: scenario.summary.clone(),
         steps,
@@ -207,7 +257,37 @@ fn report_row(trainer: &mut Trainer<CacheGuessingGame>, scenario: &Scenario) -> 
         category,
         census,
         sequence,
-    }
+    };
+    (row, report.stats)
+}
+
+/// Builds and trains a scenario's trainer to its budget — the one
+/// training path shared by [`train_one`], `scenario-run --ckpt` and the
+/// serving daemon, which is what makes a daemon job bit-identical to its
+/// one-shot equivalent. `on_update` observes `(total steps, trailing
+/// average return)` after every PPO update (pass a no-op for silence;
+/// observation cannot perturb training).
+///
+/// # Errors
+///
+/// Returns an error if the scenario's environment cannot be built.
+pub fn train_trainer(
+    scenario: &Scenario,
+    on_update: impl FnMut(u64, f32),
+) -> Result<Trainer<CacheGuessingGame>, String> {
+    let env = scenario.build_env()?;
+    let mut trainer = Trainer::new(
+        env,
+        scenario.train.backbone.clone(),
+        scenario.train.ppo,
+        scenario.train.seed,
+    );
+    trainer.train_until_with(
+        scenario.train.return_threshold,
+        scenario.train.max_steps,
+        on_update,
+    );
+    Ok(trainer)
 }
 
 /// Trains one scenario to its budget, writes its artifacts (scenario
@@ -219,14 +299,7 @@ fn report_row(trainer: &mut Trainer<CacheGuessingGame>, scenario: &Scenario) -> 
 /// written.
 pub fn train_one(scenario: &Scenario, out: &Path) -> Result<SweepRow, String> {
     let err = |e: String| format!("{}: {e}", scenario.name);
-    let env = scenario.build_env().map_err(err)?;
-    let mut trainer = Trainer::new(
-        env,
-        scenario.train.backbone.clone(),
-        scenario.train.ppo,
-        scenario.train.seed,
-    );
-    trainer.train_until(scenario.train.return_threshold, scenario.train.max_steps);
+    let mut trainer = train_trainer(scenario, |_, _| {}).map_err(err)?;
     // Checkpoint first, sidecar last: the sidecar is the discovery key
     // (`artifact_names`), so a run killed between the two writes leaves
     // an invisible checkpoint rather than an orphan sidecar that poisons
@@ -237,9 +310,101 @@ pub fn train_one(scenario: &Scenario, out: &Path) -> Result<SweepRow, String> {
     scenario
         .save(scenario_path(out, &scenario.name))
         .map_err(err)?;
+    // The manifest entry last of all: it asserts "this scenario's
+    // artifacts are complete for this exact spec", which is only true
+    // once both files above exist.
+    manifest::record(out, &scenario.name, spec_digest(scenario)).map_err(err)?;
     // Decode *after* saving: the in-memory state now equals the artifact,
     // so `row_from_artifacts` reproduces this row exactly.
     Ok(report_row(&mut trainer, scenario))
+}
+
+/// Whether `--resume` may skip a scenario under `out`: its manifest entry
+/// matches the scenario's current [`spec_digest`] *and* its artifacts are
+/// on disk. A spec change (different seed/budget/lanes via overrides)
+/// misses the manifest and retrains; a deleted checkpoint retrains.
+pub fn resume_complete(out: &Path, scenario: &Scenario) -> bool {
+    manifest::load(out).ok().is_some_and(|manifest| {
+        manifest.get(&scenario.name) == Some(&spec_digest(scenario))
+            && resolve_checkpoint_path(out, &scenario.name).exists()
+            && scenario_path(out, &scenario.name).exists()
+    })
+}
+
+/// The per-run resume manifest: `manifest.json` under the sweep output
+/// directory, mapping scenario name → train-spec digest at the moment the
+/// scenario's artifacts were completely written. [`train_one`] appends to
+/// it (thread-safely — sweeps train scenarios on parallel rayon tasks)
+/// and `sweep --resume` consults it via [`resume_complete`].
+pub mod manifest {
+    use super::{spec_digest, Path, PathBuf, Scenario};
+    use autocat_scenario::value::{self, Value};
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    /// Manifest file under a sweep output directory.
+    pub fn path(out: &Path) -> PathBuf {
+        out.join("manifest.json")
+    }
+
+    /// Loads the manifest; a missing file is an empty manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on unreadable or malformed contents.
+    pub fn load(out: &Path) -> Result<BTreeMap<String, u64>, String> {
+        let file = path(out);
+        if !file.exists() {
+            return Ok(BTreeMap::new());
+        }
+        let text = std::fs::read_to_string(&file)
+            .map_err(|e| format!("reading {}: {e}", file.display()))?;
+        let root = value::from_json(&text).map_err(|e| format!("{}: {e}", file.display()))?;
+        root.as_table()?
+            .iter()
+            .map(|(name, digest)| {
+                let digest = u64::from_str_radix(digest.as_str()?, 16)
+                    .map_err(|_| format!("{}: bad digest for `{name}`", file.display()))?;
+                Ok((name.clone(), digest))
+            })
+            .collect()
+    }
+
+    /// Records (or refreshes) one scenario's spec digest. Serialized by a
+    /// process-wide lock and written via rename, so concurrent rayon
+    /// training tasks cannot tear the file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the manifest cannot be read back or written.
+    pub fn record(out: &Path, name: &str, digest: u64) -> Result<(), String> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _guard = LOCK
+            .lock()
+            .map_err(|_| "manifest lock poisoned".to_string())?;
+        let mut entries = load(out)?;
+        entries.insert(name.to_string(), digest);
+        let mut root = Value::table();
+        for (name, digest) in &entries {
+            root.set(name, Value::Str(format!("{digest:016x}")));
+        }
+        let file = path(out);
+        let tmp = out.join("manifest.json.tmp");
+        std::fs::write(&tmp, value::to_json(&root))
+            .map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &file)
+            .map_err(|e| format!("renaming {} -> {}: {e}", tmp.display(), file.display()))
+    }
+
+    /// Convenience for callers holding a scenario: record its current
+    /// spec digest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`record`]'s errors.
+    pub fn record_scenario(out: &Path, scenario: &Scenario) -> Result<(), String> {
+        record(out, &scenario.name, spec_digest(scenario))
+    }
 }
 
 /// Regenerates one report row from artifacts alone: loads the scenario
@@ -253,7 +418,8 @@ pub fn row_from_artifacts(out: &Path, name: &str) -> Result<SweepRow, String> {
     let err = |e: String| format!("{name}: {e}");
     let scenario = Scenario::load(scenario_path(out, name)).map_err(err)?;
     let env = scenario.build_env().map_err(err)?;
-    let mut trainer = Trainer::load_checkpoint(checkpoint_path(out, name), env).map_err(err)?;
+    let mut trainer =
+        Trainer::load_checkpoint(resolve_checkpoint_path(out, name), env).map_err(err)?;
     Ok(report_row(&mut trainer, &scenario))
 }
 
@@ -575,5 +741,61 @@ mod tests {
         let out = temp_out("missing");
         let err = row_from_artifacts(&out, "table4-1").err().unwrap();
         assert!(err.contains("table4-1"), "{err}");
+    }
+
+    #[test]
+    fn checkpoints_are_binary_with_a_json_fallback() {
+        let out = temp_out("binary-artifacts");
+        let scenario = tiny_scenario();
+        let row = train_one(&scenario, &out).unwrap();
+
+        // The written artifact is the binary fast path...
+        let binary = checkpoint_path(&out, &scenario.name);
+        assert!(binary.to_string_lossy().ends_with(".ckpt.bin"));
+        assert!(binary.exists());
+        assert_eq!(resolve_checkpoint_path(&out, &scenario.name), binary);
+
+        // ...and a directory from a pre-binary run (JSON checkpoint only)
+        // still reports identically: same tree, either codec.
+        let json = out.join(format!("{}.ckpt.json", scenario.name));
+        let bytes = std::fs::read(&binary).unwrap();
+        let tree = autocat_store::codec::decode(&bytes).unwrap();
+        std::fs::write(&json, autocat_scenario::value::to_json(&tree)).unwrap();
+        std::fs::remove_file(&binary).unwrap();
+        assert_eq!(resolve_checkpoint_path(&out, &scenario.name), json);
+        let regenerated = row_from_artifacts(&out, &scenario.name).unwrap();
+        assert_eq!(regenerated, row, "JSON fallback must reproduce the row");
+    }
+
+    #[test]
+    fn resume_skips_only_matching_complete_artifacts() {
+        let out = temp_out("resume");
+        let scenario = tiny_scenario();
+        assert!(!resume_complete(&out, &scenario), "nothing trained yet");
+
+        train_one(&scenario, &out).unwrap();
+        assert!(resume_complete(&out, &scenario), "trained + manifest match");
+        assert_eq!(
+            manifest::load(&out).unwrap().get(&scenario.name),
+            Some(&spec_digest(&scenario))
+        );
+
+        // A different train spec (seed bump) must retrain.
+        let mut reseeded = scenario.clone();
+        reseeded.train.seed += 1;
+        assert!(!resume_complete(&out, &reseeded), "spec changed");
+
+        // A deleted checkpoint must retrain even with a manifest entry.
+        std::fs::remove_file(checkpoint_path(&out, &scenario.name)).unwrap();
+        assert!(!resume_complete(&out, &scenario), "checkpoint gone");
+    }
+
+    #[test]
+    fn spec_digest_tracks_the_exact_train_spec() {
+        let a = tiny_scenario();
+        let mut b = tiny_scenario();
+        assert_eq!(spec_digest(&a), spec_digest(&b), "identical scenarios");
+        b.train.max_steps += 1;
+        assert_ne!(spec_digest(&a), spec_digest(&b), "budget change re-keys");
     }
 }

@@ -4,9 +4,13 @@
 //! [`Trainer::save_checkpoint`] captures everything training depends on —
 //! network parameters with their Adam moments, the optimizer step counter,
 //! the master RNG, every VecEnv lane RNG, the step counter and the
-//! trailing episode window — as a [`Value`] tree written out as JSON.
-//! [`Trainer::load_checkpoint`] rebuilds a trainer from the file plus a
-//! freshly-built prototype environment.
+//! trailing episode window — as a [`Value`] tree written out as JSON
+//! (`.json` extension, the interchange/golden form) or as the compact
+//! binary codec from `autocat-store` (any other extension — the hot
+//! path). [`Trainer::load_checkpoint`] sniffs the codec from the bytes
+//! and rebuilds a trainer from the file plus a freshly-built prototype
+//! environment; both codecs carry the identical tree, so the guarantee
+//! below is codec-independent.
 //!
 //! # The bit-exact resume guarantee
 //!
@@ -149,6 +153,23 @@ pub fn ppo_config_from_value(value: &Value) -> Result<PpoConfig, String> {
     })
 }
 
+/// Decodes checkpoint bytes in whichever codec they are: framed binary
+/// when the `ACSB` magic leads, JSON text otherwise. This is the single
+/// sniffing point every loader (trainer, store, daemon) goes through.
+///
+/// # Errors
+///
+/// Returns the codec's parse error; never panics on malformed input.
+pub fn checkpoint_value_from_bytes(bytes: &[u8]) -> Result<Value, String> {
+    if autocat_store::codec::is_binary(bytes) {
+        autocat_store::codec::decode(bytes)
+    } else {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| "checkpoint is neither binary (no magic) nor UTF-8 JSON".to_string())?;
+        value::from_json(text)
+    }
+}
+
 fn rng_state_to_value(state: [u64; 4]) -> Value {
     Value::Array(state.iter().map(|&w| u64_value(w)).collect())
 }
@@ -212,8 +233,11 @@ impl<E: Environment + Send> Trainer<E> {
         table
     }
 
-    /// Writes the checkpoint as JSON to `path`, creating parent
-    /// directories as needed.
+    /// Writes the checkpoint to `path`, creating parent directories as
+    /// needed. The codec follows the extension: `.json` writes the
+    /// interchange JSON text, anything else (canonically `.ckpt.bin`) the
+    /// compact binary form — both carry the identical [`Value`] tree, so
+    /// the choice is pure speed, never fidelity.
     ///
     /// # Errors
     ///
@@ -224,8 +248,13 @@ impl<E: Environment + Send> Trainer<E> {
             std::fs::create_dir_all(parent)
                 .map_err(|e| format!("creating {}: {e}", parent.display()))?;
         }
-        let json = value::to_json(&self.to_checkpoint_value());
-        std::fs::write(path, json).map_err(|e| format!("writing {}: {e}", path.display()))
+        let tree = self.to_checkpoint_value();
+        let bytes = if path.extension().is_some_and(|e| e == "json") {
+            value::to_json(&tree).into_bytes()
+        } else {
+            autocat_store::codec::encode(&tree)
+        };
+        std::fs::write(path, bytes).map_err(|e| format!("writing {}: {e}", path.display()))
     }
 }
 
@@ -305,7 +334,9 @@ impl<E: Environment + Clone + Send> Trainer<E> {
         })
     }
 
-    /// Loads a checkpoint written by [`Trainer::save_checkpoint`].
+    /// Loads a checkpoint written by [`Trainer::save_checkpoint`] in
+    /// either codec: the binary magic is sniffed from the bytes, with a
+    /// JSON fallback for legacy text checkpoints regardless of extension.
     ///
     /// # Errors
     ///
@@ -313,10 +344,9 @@ impl<E: Environment + Clone + Send> Trainer<E> {
     /// environment.
     pub fn load_checkpoint(path: impl AsRef<Path>, env: E) -> Result<Self, String> {
         let path = path.as_ref();
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        let parsed =
-            value::from_json(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
+        let bytes = std::fs::read(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let parsed = checkpoint_value_from_bytes(&bytes)
+            .map_err(|e| format!("parsing {}: {e}", path.display()))?;
         Self::from_checkpoint_value(&parsed, env)
     }
 }
@@ -470,6 +500,97 @@ mod tests {
         assert_eq!(reparsed, saved, "JSON text must round-trip the tree");
         let mut loaded = Trainer::from_checkpoint_value(&reparsed, env()).unwrap();
         assert_eq!(loaded.to_checkpoint_value(), saved);
+    }
+
+    /// The ISSUE 7 interchange contract: a trained checkpoint pushed
+    /// through JSON and through the binary codec decodes to the *same*
+    /// tree — weights, Adam moments, master RNG and every lane RNG stream
+    /// bit-for-bit — and both loaded trainers keep training identically.
+    fn assert_json_binary_bit_exact(lanes: usize, name: &str) {
+        let mut t = trainer(env(), lanes, 21);
+        for _ in 0..2 {
+            t.train_update();
+        }
+        let saved = t.to_checkpoint_value();
+
+        let via_json = value::from_json(&value::to_json(&saved)).unwrap();
+        let via_binary =
+            autocat_store::codec::decode(&autocat_store::codec::encode(&saved)).unwrap();
+        assert_eq!(via_json, via_binary, "codecs disagree on the tree");
+        assert_eq!(via_binary, saved);
+
+        // Same through the file layer: one save per codec, then the
+        // sniffing loader, then identical continued training.
+        let json_path = ckpt_path(&format!("{name}.ckpt.json"));
+        let bin_path = ckpt_path(&format!("{name}.ckpt.bin"));
+        t.save_checkpoint(&json_path).unwrap();
+        t.save_checkpoint(&bin_path).unwrap();
+        assert!(autocat_store::codec::is_binary(
+            &std::fs::read(&bin_path).unwrap()
+        ));
+        let mut from_json_file = Trainer::load_checkpoint(&json_path, env()).unwrap();
+        let mut from_bin_file = Trainer::load_checkpoint(&bin_path, env()).unwrap();
+        assert_eq!(
+            from_json_file.to_checkpoint_value(),
+            from_bin_file.to_checkpoint_value()
+        );
+        for round in 0..2 {
+            assert_eq!(
+                from_json_file.train_update(),
+                from_bin_file.train_update(),
+                "update {round} diverged between codecs"
+            );
+        }
+    }
+
+    #[test]
+    fn json_and_binary_codecs_are_bit_exact_single_lane() {
+        assert_json_binary_bit_exact(1, "codec_single");
+    }
+
+    #[test]
+    fn json_and_binary_codecs_are_bit_exact_multi_lane() {
+        assert_json_binary_bit_exact(4, "codec_multi");
+    }
+
+    #[test]
+    fn binary_checkpoint_resume_is_bit_exact() {
+        // The resume guarantee holds through the binary hot path too.
+        let mut original = trainer(env(), 2, 13);
+        for _ in 0..2 {
+            original.train_update();
+        }
+        let path = ckpt_path("binary_resume.ckpt.bin");
+        original.save_checkpoint(&path).unwrap();
+        let mut resumed = Trainer::load_checkpoint(&path, env()).unwrap();
+        for round in 0..3 {
+            assert_eq!(
+                original.train_update(),
+                resumed.train_update(),
+                "update {round} diverged after binary resume"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_binary_checkpoint_is_an_error_not_a_panic() {
+        let mut t = trainer(env(), 1, 4);
+        t.train_update();
+        let path = ckpt_path("truncated.ckpt.bin");
+        t.save_checkpoint(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        for frac in [2usize, 3, 10, 1000] {
+            let cut = ckpt_path(&format!("truncated_{frac}.ckpt.bin"));
+            std::fs::write(&cut, &bytes[..bytes.len() / frac]).unwrap();
+            let err = Trainer::load_checkpoint(&cut, env())
+                .err()
+                .expect("truncated binary checkpoint must be rejected");
+            assert!(err.contains(".ckpt.bin"), "error names the file: {err}");
+        }
+        // Non-UTF-8 bytes with no magic: neither codec claims them.
+        let junk = ckpt_path("junk.ckpt.bin");
+        std::fs::write(&junk, [0xFFu8, 0xFE, 0x00, 0x01]).unwrap();
+        assert!(Trainer::load_checkpoint(&junk, env()).is_err());
     }
 
     #[test]

@@ -428,9 +428,26 @@ impl<E: Environment + Send> Trainer<E> {
     /// `return_threshold` (with a full trailing window) or `max_steps`
     /// environment steps have been taken.
     pub fn train_until(&mut self, return_threshold: f32, max_steps: u64) -> TrainResult {
+        self.train_until_with(return_threshold, max_steps, |_, _| {})
+    }
+
+    /// [`Trainer::train_until`] with a progress callback invoked after
+    /// every update with `(total env steps, trailing average return)`.
+    ///
+    /// This *is* the training loop — `train_until` delegates here with a
+    /// no-op observer — so anything driving training through the callback
+    /// (the serving daemon's progress stream) stays bit-identical to the
+    /// one-shot path by construction.
+    pub fn train_until_with(
+        &mut self,
+        return_threshold: f32,
+        max_steps: u64,
+        mut on_update: impl FnMut(u64, f32),
+    ) -> TrainResult {
         let mut converged_at = None;
         while self.total_steps < max_steps {
             self.train_update();
+            on_update(self.total_steps, self.avg_return());
             if converged_at.is_none()
                 && self.recent.len() >= self.recent_cap / 2
                 && self.avg_return() >= return_threshold

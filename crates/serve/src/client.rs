@@ -1,0 +1,307 @@
+//! Client subcommands: one connection per invocation, speaking the same
+//! NDJSON protocol the daemon serves, so ci.sh can drive a full
+//! submit → watch → fetch → gc round trip from the shell.
+
+use crate::proto;
+use autocat_bench::cli::TrainOverrides;
+use autocat_scenario::value::{req, u64_from, u64_value, Value};
+use autocat_scenario::Scenario;
+use autocat_store::codec;
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::TcpStream;
+
+/// One open client connection.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the daemon is unreachable.
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| format!("connecting to {addr}: {e} (is the daemon running?)"))?;
+        let writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request and returns the daemon's `{"ok": true}` response
+    /// table; an `{"ok": false}` response becomes this function's error.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors and daemon-reported errors alike.
+    pub fn request(&mut self, payload: &Value) -> Result<BTreeMap<String, Value>, String> {
+        proto::write_line(&mut self.writer, payload).map_err(|e| e.to_string())?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<BTreeMap<String, Value>, String> {
+        let response = proto::read_line(&mut self.reader)?
+            .ok_or("daemon closed the connection mid-request")?;
+        let table = response.as_table()?.clone();
+        match req(&table, "ok")?.as_bool()? {
+            true => Ok(table),
+            false => Err(format!(
+                "daemon: {}",
+                req(&table, "error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown error")
+            )),
+        }
+    }
+
+    /// Reads one watch-stream event line.
+    fn read_event(&mut self) -> Result<BTreeMap<String, Value>, String> {
+        let line = proto::read_line(&mut self.reader)?.ok_or("daemon closed the watch stream")?;
+        let table = line.as_table()?.clone();
+        // An {"ok": false} line in the stream is the daemon aborting the
+        // watch (unknown job, shutdown).
+        if let Some(ok) = table.get("ok") {
+            if !ok.as_bool()? {
+                return Err(format!(
+                    "daemon: {}",
+                    req(&table, "error")
+                        .and_then(Value::as_str)
+                        .unwrap_or("unknown error")
+                ));
+            }
+        }
+        Ok(table)
+    }
+}
+
+fn cmd(name: &str) -> Value {
+    let mut table = Value::table();
+    table.set("cmd", Value::Str(name.to_string()));
+    table
+}
+
+/// `ping`: round-trips one request, proving the daemon is up.
+///
+/// # Errors
+///
+/// Returns transport errors.
+pub fn ping(addr: &str) -> Result<(), String> {
+    Client::connect(addr)?.request(&cmd("ping"))?;
+    println!("pong from {addr}");
+    Ok(())
+}
+
+/// `shutdown`: asks the daemon to drain and exit.
+///
+/// # Errors
+///
+/// Returns transport errors.
+pub fn shutdown(addr: &str) -> Result<(), String> {
+    Client::connect(addr)?.request(&cmd("shutdown"))?;
+    println!("daemon at {addr} shutting down");
+    Ok(())
+}
+
+/// `submit`: queues a job (registry name or scenario file) and, with
+/// `wait`, streams its progress and prints the same
+/// `params digest`/`eval digest` lines as `scenario-run --ckpt` — the
+/// greppable surface ci.sh compares for the daemon/one-shot bit-identity
+/// gate.
+///
+/// # Errors
+///
+/// Returns submission errors, and with `wait` also the job's own failure.
+pub fn submit(
+    addr: &str,
+    scenario: Option<&str>,
+    file: Option<&str>,
+    overrides: &TrainOverrides,
+    wait: bool,
+) -> Result<(), String> {
+    if overrides.threads.is_some() {
+        // The protocol deliberately doesn't carry --threads (see proto);
+        // dropping it silently would lie to the caller.
+        return Err("--threads does not apply to submitted jobs; \
+                    set the daemon's worker pool with `daemon --workers`"
+            .into());
+    }
+    let mut request = cmd("submit");
+    match (scenario, file) {
+        (Some(name), None) => request.set("scenario", Value::Str(name.to_string())),
+        (None, Some(path)) => {
+            // Ship the file's scenario inline so the daemon needs no
+            // filesystem agreement with the client.
+            let scenario = Scenario::load(path)?;
+            request.set(
+                "inline",
+                autocat_scenario::value::from_json(&scenario.to_json())?,
+            );
+        }
+        _ => return Err("submit needs exactly one of --scenario or --file".into()),
+    }
+    if overrides.any() {
+        request.set("overrides", proto::overrides_to_value(overrides));
+    }
+
+    let mut client = Client::connect(addr)?;
+    let response = client.request(&request)?;
+    let job = u64_from(req(&response, "job")?)?;
+    println!(
+        "submitted job {job} (spec digest {})",
+        req(&response, "spec_digest")?.as_str()?
+    );
+    if !wait {
+        return Ok(());
+    }
+
+    let mut watch = cmd("watch");
+    watch.set("job", u64_value(job));
+    proto::write_line(&mut client.writer, &watch).map_err(|e| e.to_string())?;
+    loop {
+        let event = client.read_event()?;
+        match req(&event, "event")?.as_str()? {
+            "progress" => {
+                let steps = u64_from(req(&event, "steps")?)?;
+                let avg = req(&event, "avg_return")?.as_f64()?;
+                eprintln!("job {job}: {steps} steps, avg return {avg:.2}");
+            }
+            "done" => {
+                println!("job {job} done");
+                println!("digest   : {}", req(&event, "digest")?.as_str()?);
+                println!("accuracy : {:.3}", req(&event, "accuracy")?.as_f64()?);
+                // Exactly scenario-run's fingerprint lines (see module docs).
+                println!(
+                    "params digest : {}",
+                    req(&event, "params_digest")?.as_str()?
+                );
+                println!("eval digest   : {}", req(&event, "eval_digest")?.as_str()?);
+                return Ok(());
+            }
+            "failed" => {
+                return Err(format!(
+                    "job {job} failed: {}",
+                    req(&event, "error")
+                        .and_then(Value::as_str)
+                        .unwrap_or("unknown error")
+                ));
+            }
+            other => return Err(format!("unexpected event `{other}`")),
+        }
+    }
+}
+
+/// `status`: prints the job table (or one job with `job`).
+///
+/// # Errors
+///
+/// Returns transport errors and unknown-job errors.
+pub fn status(addr: &str, job: Option<u64>) -> Result<(), String> {
+    let mut request = cmd("status");
+    if let Some(id) = job {
+        request.set("job", u64_value(id));
+    }
+    let response = Client::connect(addr)?.request(&request)?;
+    let print_job = |table: &BTreeMap<String, Value>| -> Result<(), String> {
+        let id = u64_from(req(table, "job")?)?;
+        let state = req(table, "state")?.as_str()?;
+        let name = req(table, "scenario")?.as_str()?;
+        let steps = u64_from(req(table, "steps")?)?;
+        match table.get("digest") {
+            Some(digest) => println!(
+                "job {id}: {name} [{state}] {steps} steps, digest {}",
+                digest.as_str()?
+            ),
+            None => match table.get("error") {
+                Some(error) => println!("job {id}: {name} [{state}] {}", error.as_str()?),
+                None => println!("job {id}: {name} [{state}] {steps} steps"),
+            },
+        }
+        Ok(())
+    };
+    match response.get("job_status") {
+        Some(one) => print_job(one.as_table()?)?,
+        None => {
+            let jobs = req(&response, "jobs")?.as_array()?;
+            if jobs.is_empty() {
+                println!("no jobs");
+            }
+            for job in jobs {
+                print_job(job.as_table()?)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `fetch`: resolves the scenario's best/latest checkpoint, copies the
+/// object file, and re-verifies its content digest locally before writing
+/// `out` — a corrupt copy must fail loudly, not load as wrong weights.
+///
+/// # Errors
+///
+/// Returns lookup, I/O, and digest-mismatch errors.
+pub fn fetch(addr: &str, scenario: &str, which: &str, out: &str) -> Result<(), String> {
+    let mut request = cmd("fetch");
+    request.set("scenario", Value::Str(scenario.to_string()));
+    request.set("which", Value::Str(which.to_string()));
+    let response = Client::connect(addr)?.request(&request)?;
+    let entry = req(&response, "entry")?.as_table()?;
+    let path = req(entry, "path")?.as_str()?;
+    let digest = proto::digest_from(req(entry, "digest")?)?;
+    let bytes = std::fs::read(path).map_err(|e| format!("reading stored object {path}: {e}"))?;
+    let actual = codec::content_digest(&bytes);
+    if actual != digest {
+        return Err(format!(
+            "digest mismatch on fetched object: daemon says {}, bytes hash to {}",
+            autocat_store::digest_hex(digest),
+            autocat_store::digest_hex(actual)
+        ));
+    }
+    std::fs::write(out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "fetched {scenario} ({which}) -> {out} ({} bytes, digest {}, params digest {})",
+        bytes.len(),
+        autocat_store::digest_hex(digest),
+        req(entry, "params_digest")?.as_str()?
+    );
+    Ok(())
+}
+
+/// `gc`: applies a retention policy on the daemon's store.
+///
+/// # Errors
+///
+/// Returns transport and store errors.
+pub fn gc(
+    addr: &str,
+    max_count: Option<usize>,
+    max_age_secs: Option<u64>,
+    keep: &[String],
+) -> Result<(), String> {
+    let mut request = cmd("gc");
+    if let Some(count) = max_count {
+        request.set("max_count", Value::Int(count as i64));
+    }
+    if let Some(age) = max_age_secs {
+        request.set("max_age_secs", u64_value(age));
+    }
+    if !keep.is_empty() {
+        request.set(
+            "keep",
+            Value::Array(keep.iter().map(|p| Value::Str(p.clone())).collect()),
+        );
+    }
+    let response = Client::connect(addr)?.request(&request)?;
+    println!(
+        "gc: removed {} entries, {} objects; kept {} entries",
+        req(&response, "removed_entries")?.as_i64()?,
+        req(&response, "removed_objects")?.as_i64()?,
+        req(&response, "kept_entries")?.as_i64()?
+    );
+    Ok(())
+}

@@ -1,0 +1,207 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! One request per line, one response (or, for `watch`, a stream of event
+//! lines) per request; the connection stays open for further requests.
+//! Every payload is an `autocat_nn::value::Value` table rendered by the
+//! workspace's own JSON codec — `to_json` emits no raw newlines, so one
+//! document is always exactly one line. There is no async runtime: a
+//! `std::net` socket per client, a `std::thread` per connection, and a
+//! worker pool draining the job queue (the vendored dependency shims are
+//! offline stand-ins, so the daemon is plain threads by design).
+//!
+//! Requests are `{"cmd": ...}` tables:
+//!
+//! ```text
+//! {"cmd": "ping"}
+//! {"cmd": "submit", "scenario": "table4-3", "overrides": {"steps": 512}}
+//! {"cmd": "submit", "inline": { ...Scenario JSON... }}
+//! {"cmd": "status"}                      # all jobs
+//! {"cmd": "status", "job": 1}            # one job
+//! {"cmd": "watch", "job": 1}             # progress event stream
+//! {"cmd": "fetch", "scenario": "table4-3", "which": "best"}
+//! {"cmd": "gc", "max_count": 2, "max_age_secs": 0, "keep": ["defense-*"]}
+//! {"cmd": "shutdown"}
+//! ```
+//!
+//! Responses are `{"ok": true, ...}` or `{"ok": false, "error": "..."}`;
+//! watch events are `{"event": "progress"|"done"|"failed", "job": N, ...}`.
+//! Digests travel as 16-hex strings (the store's object-name form).
+
+use autocat_bench::cli::TrainOverrides;
+use autocat_scenario::value::{self, req, u64_from, Value};
+use std::io::{BufRead, Write};
+
+/// Writes one `Value` as one protocol line.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error (a vanished client, usually).
+pub fn write_line(stream: &mut impl Write, payload: &Value) -> std::io::Result<()> {
+    let mut line = value::to_json(payload);
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}
+
+/// Reads one protocol line; `Ok(None)` is a clean EOF.
+///
+/// # Errors
+///
+/// Returns an error on unreadable input or malformed JSON.
+pub fn read_line(reader: &mut impl BufRead) -> Result<Option<Value>, String> {
+    let mut line = String::new();
+    let n = reader
+        .read_line(&mut line)
+        .map_err(|e| format!("reading protocol line: {e}"))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    let line = line.trim();
+    if line.is_empty() {
+        // Tolerate blank keep-alive lines between requests.
+        return read_line(reader);
+    }
+    value::from_json(line).map(Some)
+}
+
+/// `{"ok": true}`, ready for extra fields.
+pub fn ok() -> Value {
+    let mut table = Value::table();
+    table.set("ok", Value::Bool(true));
+    table
+}
+
+/// `{"ok": false, "error": msg}`.
+pub fn error(msg: &str) -> Value {
+    let mut table = Value::table();
+    table.set("ok", Value::Bool(false));
+    table.set("error", Value::Str(msg.to_string()));
+    table
+}
+
+/// Renders a digest the way the protocol ships it (16 hex digits, the
+/// store's object-name form).
+pub fn digest_str(digest: u64) -> Value {
+    Value::Str(autocat_store::digest_hex(digest))
+}
+
+/// Parses a digest field shipped by [`digest_str`].
+///
+/// # Errors
+///
+/// Returns an error on non-hexadecimal input.
+pub fn digest_from(value: &Value) -> Result<u64, String> {
+    autocat_store::digest_from_hex(value.as_str()?)
+}
+
+/// Encodes the job-relevant override subset as a table (empty table when
+/// nothing is overridden). `--threads` deliberately does not travel: the
+/// worker pool is daemon-global, and the determinism contract makes
+/// thread count a scheduling knob with no effect on results anyway.
+pub fn overrides_to_value(overrides: &TrainOverrides) -> Value {
+    let mut table = Value::table();
+    if let Some(steps) = overrides.steps {
+        table.set("steps", value::u64_value(steps));
+    }
+    if let Some(seed) = overrides.seed {
+        table.set("seed", value::u64_value(seed));
+    }
+    if let Some(lanes) = overrides.lanes {
+        table.set("lanes", Value::Int(lanes as i64));
+    }
+    if let Some(episodes) = overrides.eval_episodes {
+        table.set("eval_episodes", Value::Int(episodes as i64));
+    }
+    if let Some(shards) = overrides.shards {
+        table.set("shards", Value::Int(shards as i64));
+    }
+    table
+}
+
+/// Decodes a table written by [`overrides_to_value`]. Unknown keys are an
+/// error — a client asking for an override the daemon would silently drop
+/// must hear about it.
+///
+/// # Errors
+///
+/// Returns an error on unknown keys or mistyped values.
+pub fn overrides_from_value(value: &Value) -> Result<TrainOverrides, String> {
+    let table = value.as_table()?;
+    let mut overrides = TrainOverrides::default();
+    for (key, item) in table {
+        match key.as_str() {
+            "steps" => overrides.steps = Some(u64_from(item)?),
+            "seed" => overrides.seed = Some(u64_from(item)?),
+            "lanes" => overrides.lanes = Some(item.as_usize()?),
+            "eval_episodes" => overrides.eval_episodes = Some(item.as_usize()?),
+            "shards" => overrides.shards = Some(item.as_usize()?),
+            other => return Err(format!("unknown override `{other}`")),
+        }
+    }
+    Ok(overrides)
+}
+
+/// Pulls the command discriminator out of a request.
+///
+/// # Errors
+///
+/// Returns an error when the request is not a table or lacks `cmd`.
+pub fn command(request: &Value) -> Result<&str, String> {
+    req(request.as_table()?, "cmd")?.as_str()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_round_trip_through_a_buffer() {
+        let mut wire = Vec::new();
+        let mut request = ok();
+        request.set("cmd", Value::Str("ping".into()));
+        write_line(&mut wire, &request).unwrap();
+        write_line(&mut wire, &error("nope")).unwrap();
+
+        let mut reader = std::io::BufReader::new(wire.as_slice());
+        let first = read_line(&mut reader).unwrap().unwrap();
+        assert_eq!(command(&first).unwrap(), "ping");
+        let second = read_line(&mut reader).unwrap().unwrap();
+        assert_eq!(
+            req(second.as_table().unwrap(), "error")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "nope"
+        );
+        assert!(read_line(&mut reader).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn overrides_round_trip_and_reject_unknown_keys() {
+        let overrides = TrainOverrides {
+            steps: Some(512),
+            seed: Some(9),
+            lanes: None,
+            eval_episodes: Some(20),
+            shards: None,
+            threads: None,
+        };
+        let back = overrides_from_value(&overrides_to_value(&overrides)).unwrap();
+        assert_eq!(back, overrides);
+        assert_eq!(
+            overrides_from_value(&Value::table()).unwrap(),
+            TrainOverrides::default()
+        );
+
+        let mut bad = Value::table();
+        bad.set("threads", Value::Int(4));
+        let err = overrides_from_value(&bad).unwrap_err();
+        assert!(err.contains("threads"), "{err}");
+    }
+
+    #[test]
+    fn digests_ship_as_sixteen_hex() {
+        let digest = 0x0123_4567_89ab_cdef;
+        assert_eq!(digest_from(&digest_str(digest)).unwrap(), digest);
+        assert!(digest_from(&Value::Str("xyz".into())).is_err());
+    }
+}

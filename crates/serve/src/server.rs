@@ -1,0 +1,494 @@
+//! The daemon: a TCP accept loop, a thread-per-connection protocol
+//! handler, and a `std::thread` worker pool draining a queued-job table.
+//!
+//! # Job lifecycle
+//!
+//! `submit` validates the scenario (registry name or inline JSON),
+//! applies the per-job overrides, and appends a **queued** job. A worker
+//! picks the lowest-id queued job, marks it **running**, and trains it
+//! through the *same* shared code path as one-shot `scenario-run`/`sweep`
+//! (`autocat_bench::sweep::train_trainer` + `row_and_stats`), reporting
+//! `(steps, avg return)` progress into the job table after every PPO
+//! update. On success the canonical binary checkpoint bytes go into the
+//! content-addressed store and the job becomes **done**, carrying the
+//! object digest plus the two bit-identity fingerprints (params digest,
+//! eval stats digest); on error it becomes **failed** with the message.
+//!
+//! # Determinism contract
+//!
+//! A daemon job is bit-identical to its one-shot equivalent: same
+//! training loop (the progress callback is observation-only), same
+//! save-then-evaluate order as `sweep::train_one`, same evaluation plan
+//! (`row_and_stats` → `EVAL_LANES` lanes, the scenario's episode budget).
+//! ci.sh holds this gate by comparing the fetched object's bytes and both
+//! digests against a `scenario-run --ckpt` of the same scenario + seed.
+//! Worker-pool width schedules *which* jobs run concurrently; it cannot
+//! change any job's result.
+
+use crate::proto;
+use autocat_bench::sweep::{row_and_stats, spec_digest, train_trainer};
+use autocat_nn::state::params_digest;
+use autocat_scenario::value::{req, u64_value, Value};
+use autocat_scenario::Scenario;
+use autocat_store::{codec, EntryMeta, RetentionPolicy, Store, StoreEntry};
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Daemon settings parsed from the `daemon` subcommand's flags.
+pub struct DaemonConfig {
+    /// Bind address; port 0 picks a free port (printed on startup).
+    pub addr: String,
+    /// Store root directory.
+    pub store_dir: String,
+    /// Worker threads training jobs concurrently.
+    pub workers: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed,
+}
+
+impl JobState {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+struct Job {
+    id: u64,
+    scenario: Scenario,
+    spec_digest: u64,
+    state: JobState,
+    steps: u64,
+    avg_return: f32,
+    digest: Option<u64>,
+    params_digest: Option<u64>,
+    eval_digest: Option<u64>,
+    accuracy: Option<f64>,
+    error: Option<String>,
+}
+
+impl Job {
+    fn to_value(&self) -> Value {
+        let mut table = Value::table();
+        table.set("job", u64_value(self.id));
+        table.set("scenario", Value::Str(self.scenario.name.clone()));
+        table.set("spec_digest", proto::digest_str(self.spec_digest));
+        table.set("state", Value::Str(self.state.as_str().to_string()));
+        table.set("steps", u64_value(self.steps));
+        table.set("avg_return", Value::Float(f64::from(self.avg_return)));
+        if let Some(digest) = self.digest {
+            table.set("digest", proto::digest_str(digest));
+        }
+        if let Some(digest) = self.params_digest {
+            table.set("params_digest", proto::digest_str(digest));
+        }
+        if let Some(digest) = self.eval_digest {
+            table.set("eval_digest", proto::digest_str(digest));
+        }
+        if let Some(accuracy) = self.accuracy {
+            table.set("accuracy", Value::Float(accuracy));
+        }
+        if let Some(error) = &self.error {
+            table.set("error", Value::Str(error.clone()));
+        }
+        table
+    }
+}
+
+struct Shared {
+    jobs: Mutex<Vec<Job>>,
+    /// Signals workers (new queued job / shutdown) and watchers (any job
+    /// update).
+    signal: Condvar,
+    store: Mutex<Store>,
+    shutdown: AtomicBool,
+}
+
+fn now_unix() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Runs the daemon until a `shutdown` request arrives.
+///
+/// # Errors
+///
+/// Returns an error if the store cannot open or the listener cannot bind.
+pub fn run(config: &DaemonConfig) -> Result<(), String> {
+    let store = Store::open(&config.store_dir)?;
+    let listener =
+        TcpListener::bind(&config.addr).map_err(|e| format!("binding {}: {e}", config.addr))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    // The startup contract ci.sh greps for: one line, actual port filled in.
+    println!("autocat-serve: listening on {local}");
+    println!(
+        "autocat-serve: store at {}, {} worker(s)",
+        config.store_dir, config.workers
+    );
+
+    let shared = Arc::new(Shared {
+        jobs: Mutex::new(Vec::new()),
+        signal: Condvar::new(),
+        store: Mutex::new(store),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let workers: Vec<_> = (0..config.workers.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(&shared))
+        })
+        .collect();
+
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(&shared);
+        let local = local.to_string();
+        std::thread::spawn(move || {
+            // A vanished client is that client's problem, not the daemon's.
+            let _ = serve_connection(&shared, stream, &local);
+        });
+    }
+
+    for worker in workers {
+        let _ = worker.join();
+    }
+    println!("autocat-serve: shut down");
+    Ok(())
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        // Claim the lowest-id queued job, or sleep until signaled.
+        let claimed = {
+            let mut jobs = shared.jobs.lock().expect("job table poisoned");
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(job) = jobs.iter_mut().find(|j| j.state == JobState::Queued) {
+                    job.state = JobState::Running;
+                    break Some((job.id, job.scenario.clone(), job.spec_digest));
+                }
+                jobs = shared.signal.wait(jobs).expect("job table poisoned");
+            }
+        };
+        let Some((id, scenario, spec)) = claimed else {
+            return;
+        };
+        let result = run_job(shared, id, &scenario, spec);
+        {
+            let mut jobs = shared.jobs.lock().expect("job table poisoned");
+            let job = jobs
+                .iter_mut()
+                .find(|j| j.id == id)
+                .expect("claimed job vanished");
+            match result {
+                Ok(()) => {}
+                Err(e) => {
+                    job.state = JobState::Failed;
+                    job.error = Some(e);
+                }
+            }
+        }
+        shared.signal.notify_all();
+    }
+}
+
+/// Trains one job through the shared one-shot code path and stores the
+/// checkpoint. See the module docs for the determinism contract.
+fn run_job(shared: &Shared, id: u64, scenario: &Scenario, spec: u64) -> Result<(), String> {
+    let mut trainer = train_trainer(scenario, |steps, avg_return| {
+        if let Ok(mut jobs) = shared.jobs.lock() {
+            if let Some(job) = jobs.iter_mut().find(|j| j.id == id) {
+                job.steps = steps;
+                job.avg_return = avg_return;
+            }
+        }
+        shared.signal.notify_all();
+    })?;
+    // Capture the canonical bytes *before* evaluation — the exact order
+    // `sweep::train_one` and `scenario-run --ckpt` save in, which is what
+    // makes the stored object byte-identical to theirs.
+    let bytes = codec::encode(&trainer.to_checkpoint_value());
+    let (row, stats) = row_and_stats(&mut trainer, scenario);
+    let (_, net, _) = trainer.parts_mut();
+    let params = params_digest(net);
+
+    let digest = shared.store.lock().expect("store poisoned").put_bytes(
+        EntryMeta {
+            scenario: scenario.name.clone(),
+            spec_digest: spec,
+            params_digest: params,
+            steps: row.steps,
+            accuracy: row.accuracy(),
+            created_unix: now_unix(),
+        },
+        &bytes,
+    )?;
+
+    let mut jobs = shared.jobs.lock().expect("job table poisoned");
+    let job = jobs
+        .iter_mut()
+        .find(|j| j.id == id)
+        .ok_or_else(|| format!("job {id} vanished"))?;
+    job.state = JobState::Done;
+    job.steps = row.steps;
+    job.avg_return = row.final_return;
+    job.digest = Some(digest);
+    job.params_digest = Some(params);
+    job.eval_digest = Some(stats.digest());
+    job.accuracy = Some(row.accuracy());
+    Ok(())
+}
+
+fn serve_connection(shared: &Shared, stream: TcpStream, local: &str) -> Result<(), String> {
+    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    while let Some(request) = proto::read_line(&mut reader)? {
+        let response = handle(shared, &request, &mut writer);
+        match response {
+            Ok(Some(payload)) => {
+                proto::write_line(&mut writer, &payload).map_err(|e| e.to_string())?;
+            }
+            Ok(None) => {} // watch streamed its own lines
+            Err(e) => {
+                proto::write_line(&mut writer, &proto::error(&e)).map_err(|e| e.to_string())?;
+            }
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Wake the accept loop so `run` can join the workers and exit.
+            let _ = TcpStream::connect(local);
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Dispatches one request. `Ok(None)` means the handler wrote its own
+/// lines (the `watch` stream); errors become `{"ok": false}` responses.
+fn handle(
+    shared: &Shared,
+    request: &Value,
+    writer: &mut TcpStream,
+) -> Result<Option<Value>, String> {
+    match proto::command(request)? {
+        "ping" => Ok(Some(proto::ok())),
+        "submit" => submit(shared, request).map(Some),
+        "status" => status(shared, request).map(Some),
+        "watch" => watch(shared, request, writer).map(|()| None),
+        "fetch" => fetch(shared, request).map(Some),
+        "gc" => gc(shared, request).map(Some),
+        "shutdown" => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.signal.notify_all();
+            Ok(Some(proto::ok()))
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn submit(shared: &Shared, request: &Value) -> Result<Value, String> {
+    let table = request.as_table()?;
+    let mut scenario = match (table.get("scenario"), table.get("inline")) {
+        (Some(name), None) => {
+            let name = name.as_str()?;
+            autocat_scenario::lookup(name)
+                .ok_or_else(|| format!("unknown scenario `{name}` (not in the registry)"))?
+        }
+        (None, Some(inline)) => Scenario::from_json(&autocat_scenario::value::to_json(inline))?,
+        _ => {
+            return Err("submit needs exactly one of `scenario` (registry name) or `inline`".into())
+        }
+    };
+    if let Some(overrides) = table.get("overrides") {
+        proto::overrides_from_value(overrides)?.apply(&mut scenario);
+    }
+    scenario.validate()?;
+    let spec = spec_digest(&scenario);
+
+    let mut jobs = shared.jobs.lock().expect("job table poisoned");
+    let id = jobs.len() as u64 + 1;
+    jobs.push(Job {
+        id,
+        scenario,
+        spec_digest: spec,
+        state: JobState::Queued,
+        steps: 0,
+        avg_return: 0.0,
+        digest: None,
+        params_digest: None,
+        eval_digest: None,
+        accuracy: None,
+        error: None,
+    });
+    drop(jobs);
+    shared.signal.notify_all();
+
+    let mut response = proto::ok();
+    response.set("job", u64_value(id));
+    response.set("spec_digest", proto::digest_str(spec));
+    Ok(response)
+}
+
+fn status(shared: &Shared, request: &Value) -> Result<Value, String> {
+    let table = request.as_table()?;
+    let jobs = shared.jobs.lock().expect("job table poisoned");
+    let mut response = proto::ok();
+    match table.get("job") {
+        Some(id) => {
+            let id = autocat_scenario::value::u64_from(id)?;
+            let job = jobs
+                .iter()
+                .find(|j| j.id == id)
+                .ok_or_else(|| format!("no job {id}"))?;
+            response.set("job_status", job.to_value());
+        }
+        None => {
+            response.set(
+                "jobs",
+                Value::Array(jobs.iter().map(Job::to_value).collect()),
+            );
+        }
+    }
+    Ok(response)
+}
+
+/// Streams `progress` events for a job until it finishes, then one
+/// terminal `done`/`failed` event. Condvar-driven: wakes on every job
+/// update, re-emits only when the step counter moved.
+fn watch(shared: &Shared, request: &Value, writer: &mut TcpStream) -> Result<(), String> {
+    let id = autocat_scenario::value::u64_from(req(request.as_table()?, "job")?)?;
+    let mut last_steps = None;
+    loop {
+        let (event, terminal) = {
+            let mut jobs = shared.jobs.lock().expect("job table poisoned");
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Err("daemon shutting down".into());
+                }
+                let job = jobs
+                    .iter()
+                    .find(|j| j.id == id)
+                    .ok_or_else(|| format!("no job {id}"))?;
+                match job.state {
+                    JobState::Done | JobState::Failed => {
+                        let mut event = job.to_value();
+                        event.set(
+                            "event",
+                            Value::Str(
+                                if job.state == JobState::Done {
+                                    "done"
+                                } else {
+                                    "failed"
+                                }
+                                .to_string(),
+                            ),
+                        );
+                        break (event, true);
+                    }
+                    _ if last_steps != Some(job.steps) => {
+                        last_steps = Some(job.steps);
+                        let mut event = job.to_value();
+                        event.set("event", Value::Str("progress".to_string()));
+                        break (event, false);
+                    }
+                    _ => {
+                        jobs = shared.signal.wait(jobs).expect("job table poisoned");
+                    }
+                }
+            }
+        };
+        proto::write_line(writer, &event).map_err(|e| e.to_string())?;
+        if terminal {
+            return Ok(());
+        }
+    }
+}
+
+fn entry_to_value(store: &Store, entry: &StoreEntry) -> Value {
+    let mut table = Value::table();
+    table.set("scenario", Value::Str(entry.scenario.clone()));
+    table.set("spec_digest", proto::digest_str(entry.spec_digest));
+    table.set("digest", proto::digest_str(entry.digest));
+    table.set("params_digest", proto::digest_str(entry.params_digest));
+    table.set("steps", u64_value(entry.steps));
+    table.set("accuracy", Value::Float(entry.accuracy));
+    table.set("created_unix", u64_value(entry.created_unix));
+    table.set(
+        "path",
+        Value::Str(store.object_path(entry.digest).display().to_string()),
+    );
+    table
+}
+
+/// `fetch` answers with the entry's metadata and the object's **path**
+/// rather than streaming megabytes of checkpoint through the line
+/// protocol: the daemon is a single-host design (loopback TCP), so the
+/// client copies the file and re-verifies its content digest locally.
+fn fetch(shared: &Shared, request: &Value) -> Result<Value, String> {
+    let table = request.as_table()?;
+    let name = req(table, "scenario")?.as_str()?;
+    let which = match table.get("which") {
+        Some(which) => which.as_str()?,
+        None => "best",
+    };
+    let store = shared.store.lock().expect("store poisoned");
+    let entry = match which {
+        "best" => store.best(name),
+        "latest" => store.latest(name),
+        other => return Err(format!("unknown fetch mode `{other}` (best|latest)")),
+    }
+    .ok_or_else(|| format!("no stored checkpoint for `{name}`"))?;
+    // Verify before answering: a corrupt object must fail the fetch, not
+    // surface later as silently-wrong weights on the client.
+    store.fetch_bytes(entry.digest)?;
+    let mut response = proto::ok();
+    response.set("entry", entry_to_value(&store, entry));
+    Ok(response)
+}
+
+fn gc(shared: &Shared, request: &Value) -> Result<Value, String> {
+    let table = request.as_table()?;
+    let mut policy = RetentionPolicy::default();
+    if let Some(count) = table.get("max_count") {
+        policy.max_count = count.as_usize()?;
+    }
+    if let Some(age) = table.get("max_age_secs") {
+        policy.max_age_secs = autocat_scenario::value::u64_from(age)?;
+    }
+    if let Some(patterns) = table.get("keep") {
+        for pattern in patterns.as_array()? {
+            policy.keep_patterns.push(pattern.as_str()?.to_string());
+        }
+    }
+    let stats = shared
+        .store
+        .lock()
+        .expect("store poisoned")
+        .gc(&policy, now_unix())?;
+    let mut response = proto::ok();
+    response.set("removed_entries", Value::Int(stats.removed_entries as i64));
+    response.set("removed_objects", Value::Int(stats.removed_objects as i64));
+    response.set("kept_entries", Value::Int(stats.kept_entries as i64));
+    Ok(response)
+}

@@ -1,0 +1,23 @@
+//! Content-addressed checkpoint store for the AutoCAT workspace.
+//!
+//! Three layers, each usable on its own:
+//!
+//! - [`codec`] — the compact versioned binary codec for
+//!   `autocat_nn::value::Value` trees (magic `ACSB`). Bit-exact inverse
+//!   of itself and tree-equal with the JSON codec; JSON remains the
+//!   interchange/golden form, binary is the hot path.
+//! - [`Store`] — `objects/<digest>.ckpt.bin` + `index.json`: put/fetch
+//!   with digest verification, `(scenario, spec digest)` lookup,
+//!   best/latest selection.
+//! - [`RetentionPolicy`] — max-count / max-age / glob keep-patterns,
+//!   applied only by an explicit [`Store::gc`] pass.
+//!
+//! The serving daemon (`autocat-serve`) and the resumable sweep sit on
+//! top of this crate; neither adds any persistence of its own.
+
+pub mod codec;
+pub mod retention;
+pub mod store;
+
+pub use retention::{glob_match, RetentionPolicy};
+pub use store::{digest_from_hex, digest_hex, EntryMeta, GcStats, Store, StoreEntry};

@@ -1,0 +1,131 @@
+//! Policy-driven retention for the checkpoint store, in the style of a
+//! relay cache policy: count limits, age limits and glob keep-patterns.
+//!
+//! A [`RetentionPolicy`] is *declarative* — nothing is deleted until an
+//! explicit [`Store::gc`](crate::Store::gc) pass applies it, so operators
+//! can dry-run a policy against [`Store::plan_gc`](crate::Store::plan_gc)
+//! before committing. Rules compose as:
+//!
+//! 1. Entries whose scenario name matches any `keep_patterns` glob are
+//!    exempt — never collected, never counted against `max_count`.
+//! 2. `max_age_secs` (0 = unlimited) drops entries older than the horizon.
+//! 3. `max_count` (0 = unlimited) keeps only the newest N entries **per
+//!    scenario name** among what survives the age rule.
+//!
+//! The newest entry of every scenario always survives `max_count >= 1`, so
+//! "fetch best checkpoint for scenario X" keeps working after any gc with
+//! a non-zero count budget.
+
+/// Glob match supporting `*` (any run of characters, including empty) and
+/// `?` (exactly one character). Anchored at both ends, ASCII/UTF-8 safe
+/// (matching is per `char`).
+pub fn glob_match(pattern: &str, name: &str) -> bool {
+    fn rec(pat: &[char], text: &[char]) -> bool {
+        match pat.split_first() {
+            None => text.is_empty(),
+            Some(('*', rest)) => (0..=text.len()).any(|skip| rec(rest, &text[skip..])),
+            Some(('?', rest)) => !text.is_empty() && rec(rest, &text[1..]),
+            Some((&c, rest)) => text.first() == Some(&c) && rec(rest, &text[1..]),
+        }
+    }
+    let pat: Vec<char> = pattern.chars().collect();
+    let text: Vec<char> = name.chars().collect();
+    rec(&pat, &text)
+}
+
+/// What a gc pass may delete and what it must keep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Newest checkpoints kept per scenario name (0 = unlimited).
+    pub max_count: usize,
+    /// Maximum entry age in seconds relative to the gc pass's `now`
+    /// (0 = unlimited).
+    pub max_age_secs: u64,
+    /// Scenario-name globs (`*`/`?`) exempt from both limits.
+    pub keep_patterns: Vec<String>,
+}
+
+impl Default for RetentionPolicy {
+    /// Keep everything: no count limit, no age limit, no patterns.
+    fn default() -> Self {
+        Self {
+            max_count: 0,
+            max_age_secs: 0,
+            keep_patterns: Vec::new(),
+        }
+    }
+}
+
+impl RetentionPolicy {
+    /// A count-only policy.
+    #[must_use]
+    pub fn with_max_count(mut self, max_count: usize) -> Self {
+        self.max_count = max_count;
+        self
+    }
+
+    /// Adds an age horizon.
+    #[must_use]
+    pub fn with_max_age_secs(mut self, secs: u64) -> Self {
+        self.max_age_secs = secs;
+        self
+    }
+
+    /// Adds a keep pattern.
+    #[must_use]
+    pub fn keep(mut self, pattern: impl Into<String>) -> Self {
+        self.keep_patterns.push(pattern.into());
+        self
+    }
+
+    /// Whether the policy can ever delete anything.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_count == 0 && self.max_age_secs == 0
+    }
+
+    /// Whether a scenario name is exempted by a keep pattern.
+    pub fn is_kept(&self, scenario: &str) -> bool {
+        self.keep_patterns.iter().any(|p| glob_match(p, scenario))
+    }
+
+    /// Whether an entry of `age_secs` violates the age rule.
+    pub fn too_old(&self, age_secs: u64) -> bool {
+        self.max_age_secs != 0 && age_secs > self.max_age_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glob_matches_stars_and_question_marks() {
+        assert!(glob_match("*", ""));
+        assert!(glob_match("*", "table4-6"));
+        assert!(glob_match("table4-*", "table4-16"));
+        assert!(!glob_match("table4-*", "defense-misscount"));
+        assert!(glob_match("table4-?", "table4-6"));
+        assert!(!glob_match("table4-?", "table4-16"));
+        assert!(glob_match("*miss*", "defense-misscount"));
+        assert!(glob_match("a*b*c", "a-x-b-y-c"));
+        assert!(!glob_match("a*b*c", "a-x-c"));
+        assert!(!glob_match("", "x"));
+        assert!(glob_match("", ""));
+    }
+
+    #[test]
+    fn policy_rules_compose() {
+        let policy = RetentionPolicy::default()
+            .with_max_count(2)
+            .with_max_age_secs(100)
+            .keep("defense-*");
+        assert!(!policy.is_unlimited());
+        assert!(policy.is_kept("defense-misscount"));
+        assert!(!policy.is_kept("table4-6"));
+        assert!(policy.too_old(101));
+        assert!(!policy.too_old(100));
+
+        assert!(RetentionPolicy::default().is_unlimited());
+        assert!(!RetentionPolicy::default().too_old(u64::MAX));
+    }
+}

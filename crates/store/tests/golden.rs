@@ -1,0 +1,116 @@
+//! Golden-file tests for the binary value codec: one checkpoint-shaped
+//! tree pinned on disk in *both* codecs. The committed `.ckpt.bin` bytes
+//! must be exactly what `codec::encode` emits today (byte stability — a
+//! format drift breaks loudly), and the committed `.ckpt.json` must
+//! round-trip through the binary codec bit-exactly (the interchange
+//! contract of ISSUE 7).
+//!
+//! Regenerate after an *intentional* format bump with:
+//! `STORE_BLESS=1 cargo test -p autocat-store --test golden`
+
+use autocat_nn::value::{from_json, to_json, u64_value, Value};
+use autocat_store::codec;
+
+fn bin_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/golden.ckpt.bin")
+}
+
+fn json_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/golden.ckpt.json")
+}
+
+/// A miniature checkpoint-shaped tree exercising every variant the real
+/// `Trainer::to_checkpoint_value` emits: nested tables, tensor-like float
+/// arrays (exact f32-widened values), RNG state words wider than i64, and
+/// config scalars.
+fn expected() -> Value {
+    let mut net = Value::table();
+    net.set("obs_dim", Value::Int(66));
+    net.set("num_actions", Value::Int(10));
+
+    let mut layer = Value::table();
+    layer.set("rows", Value::Int(2));
+    layer.set("cols", Value::Int(3));
+    layer.set(
+        "value",
+        Value::Array(
+            [0.125f32, -1.5, 0.1, 3.0e-5, -0.0, 17.0]
+                .iter()
+                .map(|&w| Value::Float(f64::from(w)))
+                .collect(),
+        ),
+    );
+    layer.set(
+        "m",
+        Value::Array(vec![Value::Float(f64::from(1.0e-8f32)); 6]),
+    );
+    layer.set(
+        "v",
+        Value::Array(vec![Value::Float(f64::from(2.0e-4f32)); 6]),
+    );
+
+    let mut rng = Value::table();
+    rng.set(
+        "state",
+        Value::Array(vec![
+            u64_value(0x9E37_79B9_7F4A_7C15),
+            u64_value(0xBF58_476D_1CE4_E5B9),
+            u64_value(3),
+            u64_value(u64::MAX),
+        ]),
+    );
+
+    let mut root = Value::table();
+    root.set("version", Value::Int(1));
+    root.set("backbone", Value::Str("mlp".into()));
+    root.set("net", net);
+    root.set("params", Value::Array(vec![layer]));
+    root.set("rng", rng);
+    root.set("total_steps", Value::Int(4096));
+    root.set(
+        "recent",
+        Value::Array(vec![Value::Float(0.53), Value::Float(-1.02)]),
+    );
+    root
+}
+
+#[test]
+fn golden_binary_is_byte_stable() {
+    let value = expected();
+    let bytes = codec::encode(&value);
+    if std::env::var_os("STORE_BLESS").is_some() {
+        std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data")).unwrap();
+        std::fs::write(bin_path(), &bytes).unwrap();
+        std::fs::write(json_path(), to_json(&value)).unwrap();
+    }
+    let committed = std::fs::read(bin_path()).expect("committed golden.ckpt.bin");
+    assert_eq!(
+        bytes, committed,
+        "binary encoding drifted from the committed fixture; if intentional, bump FORMAT_VERSION and re-bless"
+    );
+    assert!(codec::is_binary(&committed));
+    assert_eq!(codec::decode(&committed).unwrap(), value);
+}
+
+#[test]
+fn golden_json_round_trips_through_binary_bit_exactly() {
+    // JSON fixture -> tree -> binary -> tree -> JSON reproduces the fixture
+    // byte for byte: the two codecs carry the identical tree.
+    let text = std::fs::read_to_string(json_path()).expect("committed golden.ckpt.json");
+    let tree = from_json(&text).unwrap();
+    assert_eq!(tree, expected());
+    let back = codec::decode(&codec::encode(&tree)).unwrap();
+    assert_eq!(back, tree);
+    assert_eq!(to_json(&back), text);
+}
+
+#[test]
+fn golden_digest_is_pinned() {
+    // The content digest doubles as the store's object key; pin it so an
+    // accidental codec change cannot silently re-key every stored object.
+    let committed = std::fs::read(bin_path()).unwrap();
+    assert_eq!(
+        codec::content_digest(&committed),
+        codec::content_digest(&codec::encode(&expected()))
+    );
+}
