@@ -57,8 +57,10 @@ echo "==> smoke: daemon round trip is bit-identical to one-shot scenario-run"
 # around the one-shot path, never a different trainer.
 SERVE_OUT=$(mktemp -d)
 SWEEP_OUT=$(mktemp -d)
+GEN_OUT=$(mktemp -d)
+GEN_OUT2=$(mktemp -d)
 cleanup() {
-    rm -rf "$SERVE_OUT" "$SWEEP_OUT"
+    rm -rf "$SERVE_OUT" "$SWEEP_OUT" "$GEN_OUT" "$GEN_OUT2"
     [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true
 }
 trap cleanup EXIT
@@ -107,6 +109,31 @@ cargo run --release -q -p autocat-bench --bin sweep -- \
     --report-only --out "$SWEEP_OUT" >/dev/null
 cmp "$SWEEP_OUT/report.md" "$SWEEP_OUT/golden-report.md"
 cmp "$SWEEP_OUT/report.json" "$SWEEP_OUT/golden-report.json"
+
+echo "==> smoke: generated sweep + census are byte-identical across runs"
+# The scenario generator's determinism contract, gated end to end: two
+# independent full runs over the same (--generate, --gen-seed) must produce
+# byte-identical scenario sidecars, Table IV report, and census report.
+# Then the census must also regenerate byte-identically from the artifacts
+# alone (--report-only), like the main report above.
+cargo run --release -q -p autocat-bench --bin sweep -- \
+    --generate 8 --gen-seed 1 --steps 1 --seed 1 --eval-episodes 25 \
+    --census --out "$GEN_OUT" >/dev/null
+cargo run --release -q -p autocat-bench --bin sweep -- \
+    --generate 8 --gen-seed 1 --steps 1 --seed 1 --eval-episodes 25 \
+    --census --out "$GEN_OUT2" >/dev/null
+cmp "$GEN_OUT/report.json" "$GEN_OUT2/report.json"
+cmp "$GEN_OUT/census.md" "$GEN_OUT2/census.md"
+cmp "$GEN_OUT/census.json" "$GEN_OUT2/census.json"
+for f in "$GEN_OUT"/*.scenario.json; do
+    cmp "$f" "$GEN_OUT2/$(basename "$f")"
+done
+cp "$GEN_OUT/census.md" "$GEN_OUT/golden-census.md"
+cp "$GEN_OUT/census.json" "$GEN_OUT/golden-census.json"
+cargo run --release -q -p autocat-bench --bin sweep -- \
+    --report-only --census --out "$GEN_OUT" >/dev/null
+cmp "$GEN_OUT/census.md" "$GEN_OUT/golden-census.md"
+cmp "$GEN_OUT/census.json" "$GEN_OUT/golden-census.json"
 
 echo "==> smoke: eval-bench batched vs serial on the sweep artifacts"
 # Reuses the sweep gate's checkpoint. eval-bench hard-fails if the batched

@@ -1,7 +1,8 @@
-//! Train every registry scenario (or a `--filter` subset) across
-//! rayon-parallel lanes, checkpoint each policy, and emit a Markdown +
-//! JSON Table IV reproduction report; `--report-only` regenerates the
-//! identical report from the checkpoints alone.
+//! Train every registry scenario (or a `--filter` subset, or `--generate
+//! N` seeded scenarios) across rayon-parallel lanes, checkpoint each
+//! policy, and emit a Markdown + JSON Table IV reproduction report;
+//! `--report-only` regenerates the identical report from the checkpoints
+//! alone, and `--census` adds the bucketed scenario-space census.
 //!
 //! ```text
 //! sweep --list                                  # scenarios a sweep would cover
@@ -9,7 +10,15 @@
 //! sweep --filter table4-6 --out runs/fr         # one scenario, custom dir
 //! sweep --filter table4 --resume                # continue an interrupted sweep
 //! sweep --report-only --out runs/fr             # report from artifacts alone
+//! sweep --generate 64 --gen-seed 1 --census     # 64 seeded scenarios + census
 //! ```
+//!
+//! `--generate N --gen-seed S` swaps the registry for N scenarios drawn
+//! from `autocat_scenario::generate` — deterministic in S, so a re-run
+//! (or `--resume`) regenerates byte-identical scenario files whose spec
+//! digests match the manifest. The artifacts feed the same resumable
+//! pipeline; `--census` buckets the report rows by scenario-space region
+//! (`census.md`/`census.json`, see `autocat_bench::census`).
 //!
 //! `--resume` consults the per-run manifest (`manifest.json`): scenarios
 //! whose recorded train-spec digest matches the current spec (after
@@ -41,6 +50,9 @@ struct Args {
     report_only: bool,
     resume: bool,
     list: bool,
+    generate: Option<usize>,
+    gen_seed: Option<u64>,
+    census: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +63,9 @@ fn parse_args() -> Result<Args, String> {
         report_only: false,
         resume: false,
         list: false,
+        generate: None,
+        gen_seed: None,
+        census: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -62,28 +77,52 @@ fn parse_args() -> Result<Args, String> {
             "--list" => args.list = true,
             "--report-only" => args.report_only = true,
             "--resume" => args.resume = true,
+            "--census" => args.census = true,
             "--filter" => args.filter = Some(value("--filter")?),
             "--out" => args.out = value("--out")?,
+            "--generate" => {
+                let n = value("--generate")?;
+                args.generate = Some(
+                    n.parse()
+                        .map_err(|_| format!("--generate: bad count `{n}`"))?,
+                );
+            }
+            "--gen-seed" => {
+                let s = value("--gen-seed")?;
+                args.gen_seed = Some(
+                    s.parse()
+                        .map_err(|_| format!("--gen-seed: bad seed `{s}`"))?,
+                );
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     // --list returns before any report is generated, so only the actual
     // report-only path needs its flags policed.
-    if args.report_only && !args.list && (args.overrides.any() || args.filter.is_some()) {
-        return Err("--report-only reads artifacts as-is; it cannot honor \
-             --filter/--steps/--seed/--lanes/--eval-episodes/--shards/--threads"
-            .into());
+    if args.report_only
+        && !args.list
+        && (args.overrides.any() || args.filter.is_some() || args.generate.is_some())
+    {
+        return Err(
+            "--report-only reads artifacts as-is; it cannot honor --filter/\
+             --generate/--steps/--seed/--lanes/--eval-episodes/--shards/--threads"
+                .into(),
+        );
     }
     if args.report_only && args.resume {
         return Err("--resume is a training flag; --report-only never trains".into());
+    }
+    if args.gen_seed.is_some() && args.generate.is_none() {
+        return Err("--gen-seed only applies with --generate N".into());
     }
     Ok(args)
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep [--list] [--filter SUBSTR] [--steps N] [--seed N] [--lanes N] \
-         [--eval-episodes N] [--shards N] [--threads N] [--out DIR] [--resume] [--report-only]"
+        "usage: sweep [--list] [--filter SUBSTR] [--generate N] [--gen-seed S] [--steps N] \
+         [--seed N] [--lanes N] [--eval-episodes N] [--shards N] [--threads N] [--out DIR] \
+         [--resume] [--report-only] [--census]"
     );
     std::process::exit(2);
 }
@@ -92,8 +131,17 @@ fn matches(name: &str, filter: &Option<String>) -> bool {
     filter.as_ref().is_none_or(|f| name.contains(f.as_str()))
 }
 
+/// The scenarios a run covers: the registry, or `--generate N` seeded
+/// ones (deterministic in `--gen-seed`, default 0).
+fn scenario_source(args: &Args) -> Vec<autocat_scenario::Scenario> {
+    match args.generate {
+        Some(n) => autocat_scenario::generate(args.gen_seed.unwrap_or(0), n),
+        None => autocat_scenario::all(),
+    }
+}
+
 fn train_all(args: &Args, out: &Path) -> Result<Vec<SweepRow>, String> {
-    let mut scenarios: Vec<_> = autocat_scenario::all()
+    let mut scenarios: Vec<_> = scenario_source(args)
         .into_iter()
         .filter(|s| matches(&s.name, &args.filter))
         .collect();
@@ -199,7 +247,7 @@ fn main() {
 
     if args.list {
         println!("scenarios a sweep would cover:");
-        for s in autocat_scenario::all() {
+        for s in scenario_source(&args) {
             if matches(&s.name, &args.filter) {
                 println!("  {:<24} {}", s.name, s.summary);
             }
@@ -225,6 +273,12 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(1);
     }
+    if args.census {
+        if let Err(e) = autocat_bench::census::write_census(out, &rows) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
     println!(
         "{}",
         autocat_bench::sweep::render_markdown(&rows).trim_end()
@@ -235,4 +289,11 @@ fn main() {
         out.join("report.md").display(),
         out.join("report.json").display()
     );
+    if args.census {
+        println!(
+            "wrote census: {} and {}",
+            out.join("census.md").display(),
+            out.join("census.json").display()
+        );
+    }
 }

@@ -1,0 +1,365 @@
+//! The census report: sweep rows bucketed by the region of scenario
+//! space they came from.
+//!
+//! Where `report.md` is one row per scenario, `census.md` answers the
+//! generated-space questions: which configuration regions does PPO crack
+//! (direct-mapped vs set-associative, flush vs no flush), and which
+//! defenses generalize (detection rate per monitor kind)? Every bucket
+//! pools the honest N-episode evaluation counts of its scenarios —
+//! accuracy is `Σ correct / Σ episodes`, never a mean of means — so
+//! buckets with different `eval_episodes` budgets stay comparable.
+//!
+//! The inputs are exactly the sweep artifacts: each row's
+//! `<name>.scenario.json` sidecar supplies the bucketing dimensions, the
+//! row itself supplies the outcome counts. Both are deterministic, so a
+//! census regenerated from the artifacts alone (`sweep --report-only
+//! --census`) is byte-identical to the one written after training — the
+//! contract ci.sh pins with `cmp`.
+
+use crate::sweep::{scenario_path, SweepRow};
+use autocat::gym::CacheSpec;
+use autocat_scenario::generate::monitor_slug;
+use autocat_scenario::value::{u64_value, Value};
+use autocat_scenario::Scenario;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Pooled accuracy at or above which a bucket's scenario counts as
+/// "cracked" (the agent reliably extracts the secret).
+pub const CRACKED_ACCURACY: f64 = 0.9;
+
+/// The bucketing dimensions, in report order.
+const DIMENSIONS: [&str; 8] = [
+    "hierarchy",
+    "associativity",
+    "policy",
+    "prefetcher",
+    "mapping",
+    "flush",
+    "victim-secret",
+    "monitor",
+];
+
+/// The bucket label of `scenario` along each dimension, in
+/// `DIMENSIONS` order. Hardware-backed scenarios have no inspectable
+/// geometry, so their cache-level dimensions all bucket as `hardware`.
+pub fn bucket_labels(scenario: &Scenario) -> Vec<(&'static str, String)> {
+    // The game-relevant level: the single cache, or the shared L2 the
+    // cross-core channel lives in.
+    let level = match &scenario.env.cache {
+        CacheSpec::Single(c) => Some(c),
+        CacheSpec::TwoLevel(t) => Some(&t.l2),
+        CacheSpec::Hardware(_) => None,
+    };
+    let hierarchy = match &scenario.env.cache {
+        CacheSpec::Single(_) => "single",
+        CacheSpec::TwoLevel(_) => "two-level",
+        CacheSpec::Hardware(_) => "hardware",
+    };
+    let associativity = level.map_or("hardware", |c| {
+        if c.num_ways == 1 {
+            "direct-mapped"
+        } else if c.num_sets == 1 {
+            "fully-associative"
+        } else {
+            "set-associative"
+        }
+    });
+    let policy = level.map_or("hardware".into(), |c| c.policy.name().to_string());
+    let prefetcher = level.map_or("hardware", |c| match c.prefetcher {
+        autocat::cache::PrefetcherKind::None => "none",
+        autocat::cache::PrefetcherKind::NextLine => "next-line",
+        autocat::cache::PrefetcherKind::Stream => "stream",
+    });
+    let mapping = level.map_or("hardware", |c| match c.mapping {
+        autocat::cache::mapping::AddressMapping::Direct => "direct",
+        autocat::cache::mapping::AddressMapping::RandomPermutation { .. } => "random-permutation",
+    });
+    let flush = if scenario.env.flush_enable {
+        "enabled"
+    } else {
+        "disabled"
+    };
+    let secret = if scenario.env.victim_addr_s == scenario.env.victim_addr_e {
+        "one-address"
+    } else {
+        "multi-address"
+    };
+    vec![
+        ("hierarchy", hierarchy.into()),
+        ("associativity", associativity.into()),
+        ("policy", policy),
+        ("prefetcher", prefetcher.into()),
+        ("mapping", mapping.into()),
+        ("flush", flush.into()),
+        ("victim-secret", secret.into()),
+        ("monitor", monitor_slug(&scenario.env.detection).into()),
+    ]
+}
+
+/// Pooled outcome counts of one bucket.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct Bucket {
+    scenarios: u64,
+    cracked: u64,
+    episodes: u64,
+    correct: u64,
+    detected: u64,
+    /// `avg_length × episodes` summed, so the bucket mean stays
+    /// episode-weighted.
+    length_weighted: f64,
+}
+
+impl Bucket {
+    fn add(&mut self, row: &SweepRow) {
+        self.scenarios += 1;
+        self.cracked += u64::from(row.accuracy() >= CRACKED_ACCURACY);
+        self.episodes += row.eval_episodes;
+        self.correct += row.correct;
+        self.detected += row.detected;
+        self.length_weighted += f64::from(row.avg_length) * row.eval_episodes as f64;
+    }
+
+    fn accuracy(&self) -> f64 {
+        if self.episodes == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.episodes as f64
+        }
+    }
+
+    fn detection_rate(&self) -> f64 {
+        if self.episodes == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.episodes as f64
+        }
+    }
+
+    fn avg_length(&self) -> f64 {
+        if self.episodes == 0 {
+            0.0
+        } else {
+            self.length_weighted / self.episodes as f64
+        }
+    }
+}
+
+/// `(scenario, row)` pairs for every report row, with the scenario
+/// re-read from its `<name>.scenario.json` sidecar under `out`.
+///
+/// # Errors
+///
+/// Returns an error if any sidecar is missing or unparsable — a census
+/// over partial artifacts would silently mis-bucket, so it refuses.
+pub fn census_pairs(out: &Path, rows: &[SweepRow]) -> Result<Vec<(Scenario, SweepRow)>, String> {
+    rows.iter()
+        .map(|row| {
+            let scenario = Scenario::load(scenario_path(out, &row.scenario))
+                .map_err(|e| format!("census needs every scenario sidecar: {e}"))?;
+            Ok((scenario, row.clone()))
+        })
+        .collect()
+}
+
+/// Aggregates pairs into per-dimension bucket tables, in [`DIMENSIONS`]
+/// order (bucket labels sorted within a dimension).
+fn aggregate(pairs: &[(Scenario, SweepRow)]) -> Vec<(&'static str, BTreeMap<String, Bucket>)> {
+    let mut dims: Vec<(&'static str, BTreeMap<String, Bucket>)> =
+        DIMENSIONS.iter().map(|d| (*d, BTreeMap::new())).collect();
+    for (scenario, row) in pairs {
+        for (dimension, label) in bucket_labels(scenario) {
+            let table = &mut dims
+                .iter_mut()
+                .find(|(d, _)| *d == dimension)
+                .expect("bucket_labels emits known dimensions only")
+                .1;
+            table.entry(label).or_default().add(row);
+        }
+    }
+    dims
+}
+
+/// Renders the human-readable census.
+pub fn render_markdown(pairs: &[(Scenario, SweepRow)]) -> String {
+    let mut out = format!(
+        "# Scenario-space census\n\n\
+         {} scenario(s); a scenario is \"cracked\" when its evaluation accuracy is\n\
+         ≥ {CRACKED_ACCURACY:.3}. Bucket statistics pool every evaluation episode (accuracy is\n\
+         Σ correct / Σ episodes, never a mean of per-scenario means). Regenerate this\n\
+         exact file from the artifacts alone with `sweep --report-only --census`.\n",
+        pairs.len()
+    );
+    for (dimension, buckets) in aggregate(pairs) {
+        out.push_str(&format!(
+            "\n## by {dimension}\n\n\
+             | bucket | scenarios | cracked | accuracy | detect | avg len |\n\
+             |--------|----------:|--------:|---------:|-------:|--------:|\n"
+        ));
+        for (label, b) in &buckets {
+            out.push_str(&format!(
+                "| {label} | {} | {} | {:.3} | {:.3} | {:.1} |\n",
+                b.scenarios,
+                b.cracked,
+                b.accuracy(),
+                b.detection_rate(),
+                b.avg_length(),
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable census.
+pub fn render_json(pairs: &[(Scenario, SweepRow)]) -> String {
+    let mut root = Value::table();
+    root.set("version", Value::Int(1));
+    root.set("cracked_threshold", Value::Float(CRACKED_ACCURACY));
+    root.set("scenarios", u64_value(pairs.len() as u64));
+    root.set(
+        "dimensions",
+        Value::Array(
+            aggregate(pairs)
+                .into_iter()
+                .map(|(dimension, buckets)| {
+                    let mut table = Value::table();
+                    table.set("dimension", Value::Str(dimension.into()));
+                    table.set(
+                        "buckets",
+                        Value::Array(
+                            buckets
+                                .into_iter()
+                                .map(|(label, b)| {
+                                    let mut bucket = Value::table();
+                                    bucket.set("bucket", Value::Str(label));
+                                    bucket.set("scenarios", u64_value(b.scenarios));
+                                    bucket.set("cracked", u64_value(b.cracked));
+                                    bucket.set("episodes", u64_value(b.episodes));
+                                    bucket.set("correct", u64_value(b.correct));
+                                    bucket.set("detected", u64_value(b.detected));
+                                    bucket.set("accuracy", Value::Float(b.accuracy()));
+                                    bucket.set("detection_rate", Value::Float(b.detection_rate()));
+                                    bucket.set("avg_length", Value::Float(b.avg_length()));
+                                    bucket
+                                })
+                                .collect(),
+                        ),
+                    );
+                    table
+                })
+                .collect(),
+        ),
+    );
+    autocat_scenario::value::to_json(&root)
+}
+
+/// Writes `census.md` and `census.json` for `rows` under `out`, reading
+/// each row's scenario sidecar for the bucketing dimensions.
+///
+/// # Errors
+///
+/// Returns an error if a sidecar is missing or a file cannot be written.
+pub fn write_census(out: &Path, rows: &[SweepRow]) -> Result<(), String> {
+    let pairs = census_pairs(out, rows)?;
+    let write = |file: &str, text: String| {
+        let path = out.join(file);
+        std::fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))
+    };
+    write("census.md", render_markdown(&pairs))?;
+    write("census.json", render_json(&pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autocat_scenario::generate::generate;
+
+    fn fake_row(name: &str, correct: u64, episodes: u64) -> SweepRow {
+        SweepRow {
+            scenario: name.into(),
+            summary: String::new(),
+            steps: 1,
+            final_return: 0.0,
+            converged: false,
+            eval_episodes: episodes,
+            correct,
+            guessed: episodes,
+            detected: 1,
+            avg_length: 8.0,
+            category: "other".into(),
+            census: String::new(),
+            sequence: String::new(),
+        }
+    }
+
+    fn pairs_for(count: usize) -> Vec<(Scenario, SweepRow)> {
+        generate(2, count)
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let row = fake_row(&s.name, if i % 2 == 0 { 19 } else { 4 }, 20);
+                (s, row)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bucket_labels_cover_every_dimension_once() {
+        for scenario in generate(4, 32).iter().chain(autocat_scenario::all().iter()) {
+            let labels = bucket_labels(scenario);
+            let dims: Vec<&str> = labels.iter().map(|(d, _)| *d).collect();
+            assert_eq!(dims, DIMENSIONS.to_vec(), "{}", scenario.name);
+            for (_, label) in &labels {
+                assert!(!label.is_empty(), "{}", scenario.name);
+            }
+        }
+    }
+
+    #[test]
+    fn hardware_scenarios_bucket_as_hardware() {
+        let scenario = autocat_scenario::hardware(autocat::gym::HardwareProfile::SkylakeL1);
+        let labels = bucket_labels(&scenario);
+        for dim in [
+            "hierarchy",
+            "associativity",
+            "policy",
+            "prefetcher",
+            "mapping",
+        ] {
+            let (_, label) = labels.iter().find(|(d, _)| *d == dim).unwrap();
+            assert_eq!(label, "hardware", "{dim}");
+        }
+    }
+
+    #[test]
+    fn pooled_statistics_weight_episodes_not_scenarios() {
+        let pairs = pairs_for(2);
+        let dims = aggregate(&pairs);
+        let (_, hierarchy) = &dims[0];
+        let total: u64 = hierarchy.values().map(|b| b.scenarios).sum();
+        assert_eq!(total, 2);
+        let episodes: u64 = hierarchy.values().map(|b| b.episodes).sum();
+        assert_eq!(episodes, 40);
+        let correct: u64 = hierarchy.values().map(|b| b.correct).sum();
+        assert_eq!(correct, 23);
+    }
+
+    #[test]
+    fn cracked_threshold_is_inclusive() {
+        let mut b = Bucket::default();
+        b.add(&fake_row("x", 18, 20)); // exactly 0.9
+        assert_eq!(b.cracked, 1);
+        b.add(&fake_row("y", 17, 20)); // 0.85 < 0.9
+        assert_eq!(b.cracked, 1);
+    }
+
+    #[test]
+    fn renders_are_deterministic() {
+        let pairs = pairs_for(6);
+        assert_eq!(render_markdown(&pairs), render_markdown(&pairs));
+        assert_eq!(render_json(&pairs), render_json(&pairs));
+        assert!(render_markdown(&pairs).contains("## by monitor"));
+        let parsed = autocat_scenario::value::from_json(&render_json(&pairs));
+        assert!(parsed.is_ok(), "{:?}", parsed.err());
+    }
+}

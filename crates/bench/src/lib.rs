@@ -7,6 +7,7 @@
 //! `quick` mode uses reduced training budgets and fewer repeat runs so a
 //! full sweep finishes on a laptop.
 
+pub mod census;
 pub mod cli;
 pub mod sweep;
 

@@ -1,0 +1,50 @@
+//! End-to-end: a generated scenario saved to disk trains through the
+//! real `scenario-run --file` binary, closing the loop from
+//! `ScenarioGenerator` to the CLI surface users drive.
+
+use autocat_scenario::generate::generate;
+use std::process::Command;
+
+#[test]
+fn scenario_run_trains_a_generated_scenario_from_file() {
+    let mut scenario = generate(42, 1).remove(0);
+    // Shrink the training budget so the debug-profile binary finishes in
+    // seconds: one tiny horizon, one lane, a handful of eval episodes.
+    scenario.train.max_steps = 256;
+    scenario.train.eval_episodes = 4;
+    scenario.train.ppo.horizon = 64;
+    scenario.train.ppo.minibatch = 32;
+    scenario.train.ppo.epochs_per_update = 2;
+    scenario.train.ppo.num_lanes = 1;
+
+    let dir = std::env::temp_dir().join(format!("autocat-gen-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("generated.toml");
+    scenario.save(&path).expect("save generated scenario");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_scenario-run"))
+        .args([
+            "--file",
+            path.to_str().expect("utf-8 temp path"),
+            "--steps",
+            "256",
+        ])
+        .output()
+        .expect("scenario-run must spawn");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(
+        out.status.success(),
+        "scenario-run failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains(&scenario.name),
+        "stdout names the scenario:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("accuracy"),
+        "stdout reports evaluation stats:\n{stdout}"
+    );
+}

@@ -46,6 +46,7 @@
 //! ```
 
 mod encode;
+pub mod generate;
 pub mod registry;
 pub use autocat_nn::value;
 
@@ -54,6 +55,7 @@ use autocat_gym::{CacheGuessingGame, EnvConfig};
 use autocat_ppo::{Backbone, PpoConfig};
 use std::path::Path;
 
+pub use generate::{generate, GenSpace, ScenarioGenerator};
 pub use registry::{
     all, defense_autocorr, defense_cyclone_svm, defense_misscount, defense_plcache, defenses,
     hardware, lookup, names, replacement, table4,
