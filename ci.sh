@@ -87,6 +87,55 @@ cmp "$SERVE_OUT/oneshot.ckpt.bin" "$SERVE_OUT/daemon.ckpt.bin"
 diff <(grep -E "^(params|eval) digest" "$SERVE_OUT/oneshot.log") \
      <(grep -E "^(params|eval) digest" "$SERVE_OUT/daemon-job.log")
 
+echo "==> smoke: job table survives SIGKILL; restart resumes bit-identically"
+# A queue-only daemon (--workers 0) accepts and journals a job, a
+# duplicate submit attaches to it (dedup, not a second run), then the
+# daemon is SIGKILL'd — no graceful shutdown. A restarted daemon over the
+# same store must re-enqueue the job from the journal and train it to the
+# exact bytes the one-shot run above produced.
+RESTART_STORE="$SERVE_OUT/restart-store"
+cargo run --release -q -p autocat-serve -- daemon \
+    --addr 127.0.0.1:0 --store "$RESTART_STORE" --workers 0 \
+    > "$SERVE_OUT/daemon2.log" &
+SERVE_PID=$!
+for _ in $(seq 50); do
+    grep -q "listening on" "$SERVE_OUT/daemon2.log" && break
+    sleep 0.1
+done
+SERVE_ADDR=$(sed -n 's/^autocat-serve: listening on //p' "$SERVE_OUT/daemon2.log")
+cargo run --release -q -p autocat-serve -- submit --addr "$SERVE_ADDR" \
+    --scenario table4-6 --steps 1 > "$SERVE_OUT/restart-submit.log"
+grep -q "submitted job 1" "$SERVE_OUT/restart-submit.log"
+cargo run --release -q -p autocat-serve -- submit --addr "$SERVE_ADDR" \
+    --scenario table4-6 --steps 1 > "$SERVE_OUT/restart-dup.log"
+grep -q "attached to job 1" "$SERVE_OUT/restart-dup.log"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=
+cargo run --release -q -p autocat-serve -- daemon \
+    --addr 127.0.0.1:0 --store "$RESTART_STORE" --workers 1 \
+    > "$SERVE_OUT/daemon3.log" &
+SERVE_PID=$!
+for _ in $(seq 50); do
+    grep -q "listening on" "$SERVE_OUT/daemon3.log" && break
+    sleep 0.1
+done
+SERVE_ADDR=$(sed -n 's/^autocat-serve: listening on //p' "$SERVE_OUT/daemon3.log")
+grep -q "journal replayed" "$SERVE_OUT/daemon3.log"
+cargo run --release -q -p autocat-serve -- watch --addr "$SERVE_ADDR" --job 1 \
+    > "$SERVE_OUT/restart-job.log"
+cargo run --release -q -p autocat-serve -- fetch --addr "$SERVE_ADDR" \
+    --scenario table4-6 --out "$SERVE_OUT/restart.ckpt.bin"
+# Dedup against the finished job resolves instantly after the restart.
+cargo run --release -q -p autocat-serve -- submit --addr "$SERVE_ADDR" \
+    --scenario table4-6 --steps 1 > "$SERVE_OUT/restart-dup2.log"
+grep -q "attached to job 1" "$SERVE_OUT/restart-dup2.log"
+cargo run --release -q -p autocat-serve -- shutdown --addr "$SERVE_ADDR"
+wait "$SERVE_PID"; SERVE_PID=
+cmp "$SERVE_OUT/oneshot.ckpt.bin" "$SERVE_OUT/restart.ckpt.bin"
+diff <(grep -E "^(params|eval) digest" "$SERVE_OUT/oneshot.log") \
+     <(grep -E "^(params|eval) digest" "$SERVE_OUT/restart-job.log")
+
 echo "==> smoke: sweep golden round trip (report-only must regenerate bytes)"
 # Train a tiny sweep into a scratch directory, snapshot the reports as the
 # run's golden, then regenerate them from the artifacts alone. The

@@ -1,7 +1,9 @@
 //! CLI plumbing shared by the scenario-driven binaries (`scenario-run`,
-//! `sweep`, `train-bench`): the common training-override flags, parsed
-//! and applied one way so the front ends cannot drift.
+//! `sweep`, `train-bench`) and the serving daemon: the common
+//! training-override flags, parsed, applied and wire-encoded one way so
+//! the front ends cannot drift.
 
+use autocat_scenario::value::{self, u64_from, Value};
 use autocat_scenario::Scenario;
 
 /// The `--steps` / `--seed` / `--lanes` / `--shards` / `--threads` /
@@ -92,6 +94,55 @@ impl TrainOverrides {
             std::env::set_var("RAYON_NUM_THREADS", threads.max(1).to_string());
         }
     }
+
+    /// Encodes the job-relevant override subset as a [`Value`] table
+    /// (empty table when nothing is overridden) — the form the serve
+    /// protocol's `submit` request carries. `--threads` deliberately does
+    /// not travel: the daemon's worker pool is daemon-global, and the
+    /// determinism contract makes thread count a scheduling knob with no
+    /// effect on results anyway.
+    pub fn to_value(&self) -> Value {
+        let mut table = Value::table();
+        if let Some(steps) = self.steps {
+            table.set("steps", value::u64_value(steps));
+        }
+        if let Some(seed) = self.seed {
+            table.set("seed", value::u64_value(seed));
+        }
+        if let Some(lanes) = self.lanes {
+            table.set("lanes", Value::Int(lanes as i64));
+        }
+        if let Some(episodes) = self.eval_episodes {
+            table.set("eval_episodes", Value::Int(episodes as i64));
+        }
+        if let Some(shards) = self.shards {
+            table.set("shards", Value::Int(shards as i64));
+        }
+        table
+    }
+
+    /// Decodes a table written by [`TrainOverrides::to_value`]. Unknown
+    /// keys are an error — a client asking for an override the receiver
+    /// would silently drop must hear about it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on unknown keys or mistyped values.
+    pub fn from_value(value: &Value) -> Result<TrainOverrides, String> {
+        let table = value.as_table()?;
+        let mut overrides = TrainOverrides::default();
+        for (key, item) in table {
+            match key.as_str() {
+                "steps" => overrides.steps = Some(u64_from(item)?),
+                "seed" => overrides.seed = Some(u64_from(item)?),
+                "lanes" => overrides.lanes = Some(item.as_usize()?),
+                "eval_episodes" => overrides.eval_episodes = Some(item.as_usize()?),
+                "shards" => overrides.shards = Some(item.as_usize()?),
+                other => return Err(format!("unknown override `{other}`")),
+            }
+        }
+        Ok(overrides)
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +207,36 @@ mod tests {
         let overrides = parse_all(&["--threads", "4"]).unwrap();
         assert!(overrides.any());
         assert_eq!(overrides.threads, Some(4));
+    }
+
+    #[test]
+    fn value_codec_round_trips_and_rejects_unknown_keys() {
+        let overrides = TrainOverrides {
+            steps: Some(512),
+            seed: Some(9),
+            lanes: None,
+            eval_episodes: Some(20),
+            shards: None,
+            threads: None,
+        };
+        let back = TrainOverrides::from_value(&overrides.to_value()).unwrap();
+        assert_eq!(back, overrides);
+        assert_eq!(
+            TrainOverrides::from_value(&Value::table()).unwrap(),
+            TrainOverrides::default()
+        );
+
+        // `--threads` never travels; a table carrying it is rejected, not
+        // silently dropped.
+        let mut bad = Value::table();
+        bad.set("threads", Value::Int(4));
+        let err = TrainOverrides::from_value(&bad).unwrap_err();
+        assert!(err.contains("threads"), "{err}");
+        let on_wire = TrainOverrides {
+            threads: Some(4),
+            ..TrainOverrides::default()
+        };
+        assert_eq!(on_wire.to_value(), Value::table(), "threads stays local");
     }
 
     #[test]

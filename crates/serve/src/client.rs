@@ -1,307 +1,299 @@
-//! Client subcommands: one connection per invocation, speaking the same
-//! NDJSON protocol the daemon serves, so ci.sh can drive a full
-//! submit → watch → fetch → gc round trip from the shell.
+//! The typed client library: one [`Client`] per connection speaking the
+//! versioned protocol (handshake included), and a [`JobHandle`] wrapping
+//! a submitted job — `wait`/`events` for the watch stream, `artifact`
+//! for a digest-verified fetch of the job's stored checkpoint. The CLI
+//! subcommands (`crate::cmd`) and the integration tests are both built
+//! on this, so there is exactly one implementation of the wire contract
+//! on the client side.
 
-use crate::proto;
-use autocat_bench::cli::TrainOverrides;
-use autocat_scenario::value::{req, u64_from, u64_value, Value};
-use autocat_scenario::Scenario;
-use autocat_store::codec;
-use std::collections::BTreeMap;
+use crate::proto::{self, Event, FetchKey, JobStatus, Request, Response, PROTOCOL_VERSION};
+use autocat_store::{codec, StoreEntry};
 use std::io::BufReader;
 use std::net::TcpStream;
 
-/// One open client connection.
+fn unexpected(response: &Response) -> String {
+    format!(
+        "unexpected response: {}",
+        autocat_scenario::value::to_json(&response.to_value())
+    )
+}
+
+/// One open, handshaken client connection.
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
 }
 
 impl Client {
-    /// Connects to a running daemon.
+    /// Connects to a running daemon and performs the `hello` version
+    /// handshake.
     ///
     /// # Errors
     ///
-    /// Returns an error when the daemon is unreachable.
+    /// Returns an error when the daemon is unreachable or speaks a
+    /// different protocol version.
     pub fn connect(addr: &str) -> Result<Client, String> {
         let stream = TcpStream::connect(addr)
             .map_err(|e| format!("connecting to {addr}: {e} (is the daemon running?)"))?;
         let writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
-        Ok(Client {
+        let mut client = Client {
             writer,
             reader: BufReader::new(stream),
-        })
+        };
+        match client.request(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })? {
+            Response::Hello { version } if version == PROTOCOL_VERSION => Ok(client),
+            Response::Hello { version } => Err(format!(
+                "daemon at {addr} speaks protocol v{version}, this client v{PROTOCOL_VERSION}"
+            )),
+            other => Err(unexpected(&other)),
+        }
     }
 
-    /// Sends one request and returns the daemon's `{"ok": true}` response
-    /// table; an `{"ok": false}` response becomes this function's error.
+    /// Sends one request and returns the daemon's response; a
+    /// [`Response::Error`] becomes this function's `Err`.
     ///
     /// # Errors
     ///
-    /// Returns transport errors and daemon-reported errors alike.
-    pub fn request(&mut self, payload: &Value) -> Result<BTreeMap<String, Value>, String> {
-        proto::write_line(&mut self.writer, payload).map_err(|e| e.to_string())?;
-        self.read_response()
-    }
-
-    fn read_response(&mut self) -> Result<BTreeMap<String, Value>, String> {
-        let response = proto::read_line(&mut self.reader)?
+    /// Returns transport errors and daemon-reported faults alike.
+    pub fn request(&mut self, request: &Request) -> Result<Response, String> {
+        proto::write_line(&mut self.writer, &request.to_value()).map_err(|e| e.to_string())?;
+        let line = proto::read_line(&mut self.reader)?
             .ok_or("daemon closed the connection mid-request")?;
-        let table = response.as_table()?.clone();
-        match req(&table, "ok")?.as_bool()? {
-            true => Ok(table),
-            false => Err(format!(
-                "daemon: {}",
-                req(&table, "error")
-                    .and_then(Value::as_str)
-                    .unwrap_or("unknown error")
-            )),
+        match Response::from_value(&line)? {
+            Response::Error { kind, message } => {
+                Err(format!("daemon: {}: {message}", kind.as_str()))
+            }
+            response => Ok(response),
         }
     }
 
-    /// Reads one watch-stream event line.
-    fn read_event(&mut self) -> Result<BTreeMap<String, Value>, String> {
-        let line = proto::read_line(&mut self.reader)?.ok_or("daemon closed the watch stream")?;
-        let table = line.as_table()?.clone();
-        // An {"ok": false} line in the stream is the daemon aborting the
-        // watch (unknown job, shutdown).
-        if let Some(ok) = table.get("ok") {
-            if !ok.as_bool()? {
-                return Err(format!(
-                    "daemon: {}",
-                    req(&table, "error")
-                        .and_then(Value::as_str)
-                        .unwrap_or("unknown error")
-                ));
-            }
+    /// `ping` round trip.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors.
+    pub fn ping(&mut self) -> Result<(), String> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
         }
-        Ok(table)
     }
-}
 
-fn cmd(name: &str) -> Value {
-    let mut table = Value::table();
-    table.set("cmd", Value::Str(name.to_string()));
-    table
-}
-
-/// `ping`: round-trips one request, proving the daemon is up.
-///
-/// # Errors
-///
-/// Returns transport errors.
-pub fn ping(addr: &str) -> Result<(), String> {
-    Client::connect(addr)?.request(&cmd("ping"))?;
-    println!("pong from {addr}");
-    Ok(())
-}
-
-/// `shutdown`: asks the daemon to drain and exit.
-///
-/// # Errors
-///
-/// Returns transport errors.
-pub fn shutdown(addr: &str) -> Result<(), String> {
-    Client::connect(addr)?.request(&cmd("shutdown"))?;
-    println!("daemon at {addr} shutting down");
-    Ok(())
-}
-
-/// `submit`: queues a job (registry name or scenario file) and, with
-/// `wait`, streams its progress and prints the same
-/// `params digest`/`eval digest` lines as `scenario-run --ckpt` — the
-/// greppable surface ci.sh compares for the daemon/one-shot bit-identity
-/// gate.
-///
-/// # Errors
-///
-/// Returns submission errors, and with `wait` also the job's own failure.
-pub fn submit(
-    addr: &str,
-    scenario: Option<&str>,
-    file: Option<&str>,
-    overrides: &TrainOverrides,
-    wait: bool,
-) -> Result<(), String> {
-    if overrides.threads.is_some() {
-        // The protocol deliberately doesn't carry --threads (see proto);
-        // dropping it silently would lie to the caller.
-        return Err("--threads does not apply to submitted jobs; \
-                    set the daemon's worker pool with `daemon --workers`"
-            .into());
-    }
-    let mut request = cmd("submit");
-    match (scenario, file) {
-        (Some(name), None) => request.set("scenario", Value::Str(name.to_string())),
-        (None, Some(path)) => {
-            // Ship the file's scenario inline so the daemon needs no
-            // filesystem agreement with the client.
-            let scenario = Scenario::load(path)?;
-            request.set(
-                "inline",
-                autocat_scenario::value::from_json(&scenario.to_json())?,
-            );
+    /// Submits a job and upgrades this connection into its [`JobHandle`].
+    ///
+    /// # Errors
+    ///
+    /// Returns submission errors (unknown scenario, invalid overrides).
+    pub fn submit(
+        mut self,
+        source: proto::JobSource,
+        overrides: autocat_bench::cli::TrainOverrides,
+        priority: i64,
+    ) -> Result<JobHandle, String> {
+        match self.request(&Request::Submit {
+            source,
+            overrides,
+            priority,
+        })? {
+            Response::Submitted {
+                job,
+                spec_digest,
+                attached,
+            } => Ok(JobHandle {
+                client: self,
+                job,
+                spec_digest,
+                attached,
+            }),
+            other => Err(unexpected(&other)),
         }
-        _ => return Err("submit needs exactly one of --scenario or --file".into()),
-    }
-    if overrides.any() {
-        request.set("overrides", proto::overrides_to_value(overrides));
     }
 
-    let mut client = Client::connect(addr)?;
-    let response = client.request(&request)?;
-    let job = u64_from(req(&response, "job")?)?;
-    println!(
-        "submitted job {job} (spec digest {})",
-        req(&response, "spec_digest")?.as_str()?
-    );
-    if !wait {
-        return Ok(());
+    /// Fetches the job table (or one job's entry).
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors and unknown-job faults.
+    pub fn status(&mut self, job: Option<u64>) -> Result<Vec<JobStatus>, String> {
+        match self.request(&Request::Status { job })? {
+            Response::Status { jobs } => Ok(jobs),
+            other => Err(unexpected(&other)),
+        }
     }
 
-    let mut watch = cmd("watch");
-    watch.set("job", u64_value(job));
-    proto::write_line(&mut client.writer, &watch).map_err(|e| e.to_string())?;
-    loop {
-        let event = client.read_event()?;
-        match req(&event, "event")?.as_str()? {
-            "progress" => {
-                let steps = u64_from(req(&event, "steps")?)?;
-                let avg = req(&event, "avg_return")?.as_f64()?;
-                eprintln!("job {job}: {steps} steps, avg return {avg:.2}");
-            }
-            "done" => {
-                println!("job {job} done");
-                println!("digest   : {}", req(&event, "digest")?.as_str()?);
-                println!("accuracy : {:.3}", req(&event, "accuracy")?.as_f64()?);
-                // Exactly scenario-run's fingerprint lines (see module docs).
-                println!(
-                    "params digest : {}",
-                    req(&event, "params_digest")?.as_str()?
-                );
-                println!("eval digest   : {}", req(&event, "eval_digest")?.as_str()?);
-                return Ok(());
-            }
-            "failed" => {
-                return Err(format!(
-                    "job {job} failed: {}",
-                    req(&event, "error")
-                        .and_then(Value::as_str)
-                        .unwrap_or("unknown error")
-                ));
-            }
-            other => return Err(format!("unexpected event `{other}`")),
+    /// Fetches a stored checkpoint's metadata and bytes through the
+    /// connection (length-prefixed chunks; see the protocol docs) and
+    /// re-verifies the assembled bytes against the entry's content
+    /// digest — host-independent and corruption-evident.
+    ///
+    /// # Errors
+    ///
+    /// Returns lookup faults, transport errors, and digest mismatches.
+    pub fn fetch(&mut self, key: &FetchKey) -> Result<(StoreEntry, Vec<u8>), String> {
+        let (entry, len) = match self.request(&Request::Fetch { key: key.clone() })? {
+            Response::Fetch { entry, len } => (entry, len),
+            other => return Err(unexpected(&other)),
+        };
+        let bytes = proto::read_chunks(&mut self.reader, len)?;
+        let actual = codec::content_digest(&bytes);
+        if actual != entry.digest {
+            return Err(format!(
+                "digest mismatch on fetched object: daemon says {}, bytes hash to {}",
+                autocat_store::digest_hex(entry.digest),
+                autocat_store::digest_hex(actual)
+            ));
+        }
+        Ok((entry, bytes))
+    }
+
+    /// Applies a retention policy on the daemon's store; returns
+    /// `(removed entries, removed objects, kept entries)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport and store errors.
+    pub fn gc(
+        &mut self,
+        max_count: Option<u64>,
+        max_age_secs: Option<u64>,
+        keep: Vec<String>,
+    ) -> Result<(u64, u64, u64), String> {
+        match self.request(&Request::Gc {
+            max_count,
+            max_age_secs,
+            keep,
+        })? {
+            Response::Gc {
+                removed_entries,
+                removed_objects,
+                kept_entries,
+            } => Ok((removed_entries, removed_objects, kept_entries)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the daemon to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Attaches to an existing job by id as a [`JobHandle`] (the watch
+    /// side of dedup: any number of handles can follow one run).
+    pub fn handle(self, job: u64, spec_digest: u64) -> JobHandle {
+        JobHandle {
+            client: self,
+            job,
+            spec_digest,
+            attached: true,
         }
     }
 }
 
-/// `status`: prints the job table (or one job with `job`).
-///
-/// # Errors
-///
-/// Returns transport errors and unknown-job errors.
-pub fn status(addr: &str, job: Option<u64>) -> Result<(), String> {
-    let mut request = cmd("status");
-    if let Some(id) = job {
-        request.set("job", u64_value(id));
-    }
-    let response = Client::connect(addr)?.request(&request)?;
-    let print_job = |table: &BTreeMap<String, Value>| -> Result<(), String> {
-        let id = u64_from(req(table, "job")?)?;
-        let state = req(table, "state")?.as_str()?;
-        let name = req(table, "scenario")?.as_str()?;
-        let steps = u64_from(req(table, "steps")?)?;
-        match table.get("digest") {
-            Some(digest) => println!(
-                "job {id}: {name} [{state}] {steps} steps, digest {}",
-                digest.as_str()?
-            ),
-            None => match table.get("error") {
-                Some(error) => println!("job {id}: {name} [{state}] {}", error.as_str()?),
-                None => println!("job {id}: {name} [{state}] {steps} steps"),
-            },
-        }
-        Ok(())
-    };
-    match response.get("job_status") {
-        Some(one) => print_job(one.as_table()?)?,
-        None => {
-            let jobs = req(&response, "jobs")?.as_array()?;
-            if jobs.is_empty() {
-                println!("no jobs");
-            }
-            for job in jobs {
-                print_job(job.as_table()?)?;
-            }
-        }
-    }
-    Ok(())
+/// A submitted (or attached-to) job: the connection plus the identifiers
+/// `submit` answered with.
+pub struct JobHandle {
+    client: Client,
+    /// The job id the submission resolved to.
+    pub job: u64,
+    /// The submission's train-spec digest (the dedup key).
+    pub spec_digest: u64,
+    /// Whether the submission attached to an existing equivalent job
+    /// instead of queuing a fresh run.
+    pub attached: bool,
 }
 
-/// `fetch`: resolves the scenario's best/latest checkpoint, copies the
-/// object file, and re-verifies its content digest locally before writing
-/// `out` — a corrupt copy must fail loudly, not load as wrong weights.
-///
-/// # Errors
-///
-/// Returns lookup, I/O, and digest-mismatch errors.
-pub fn fetch(addr: &str, scenario: &str, which: &str, out: &str) -> Result<(), String> {
-    let mut request = cmd("fetch");
-    request.set("scenario", Value::Str(scenario.to_string()));
-    request.set("which", Value::Str(which.to_string()));
-    let response = Client::connect(addr)?.request(&request)?;
-    let entry = req(&response, "entry")?.as_table()?;
-    let path = req(entry, "path")?.as_str()?;
-    let digest = proto::digest_from(req(entry, "digest")?)?;
-    let bytes = std::fs::read(path).map_err(|e| format!("reading stored object {path}: {e}"))?;
-    let actual = codec::content_digest(&bytes);
-    if actual != digest {
-        return Err(format!(
-            "digest mismatch on fetched object: daemon says {}, bytes hash to {}",
-            autocat_store::digest_hex(digest),
-            autocat_store::digest_hex(actual)
-        ));
+impl JobHandle {
+    /// Streams the job's watch events into `on_event` — the full progress
+    /// log from the first update (identical for every watcher), then the
+    /// terminal event — and returns the final status of a `done` job.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors, daemon faults aborting the stream, and
+    /// the job's own failure.
+    pub fn events(&mut self, on_event: &mut dyn FnMut(&Event)) -> Result<JobStatus, String> {
+        proto::write_line(
+            &mut self.client.writer,
+            &Request::Watch { job: self.job }.to_value(),
+        )
+        .map_err(|e| e.to_string())?;
+        loop {
+            let line = proto::read_line(&mut self.client.reader)?
+                .ok_or("daemon closed the watch stream")?;
+            if !proto::is_event(&line) {
+                // A response line inside the stream is the daemon
+                // aborting the watch (unknown job, shutdown).
+                return match Response::from_value(&line)? {
+                    Response::Error { kind, message } => {
+                        Err(format!("daemon: {}: {message}", kind.as_str()))
+                    }
+                    other => Err(unexpected(&other)),
+                };
+            }
+            let event = Event::from_value(&line)?;
+            on_event(&event);
+            match event {
+                Event::Progress { .. } => {}
+                Event::Done { status } => return Ok(status),
+                Event::Failed { job, error } => return Err(format!("job {job} failed: {error}")),
+            }
+        }
     }
-    std::fs::write(out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
-    println!(
-        "fetched {scenario} ({which}) -> {out} ({} bytes, digest {}, params digest {})",
-        bytes.len(),
-        autocat_store::digest_hex(digest),
-        req(entry, "params_digest")?.as_str()?
-    );
-    Ok(())
-}
 
-/// `gc`: applies a retention policy on the daemon's store.
-///
-/// # Errors
-///
-/// Returns transport and store errors.
-pub fn gc(
-    addr: &str,
-    max_count: Option<usize>,
-    max_age_secs: Option<u64>,
-    keep: &[String],
-) -> Result<(), String> {
-    let mut request = cmd("gc");
-    if let Some(count) = max_count {
-        request.set("max_count", Value::Int(count as i64));
+    /// Blocks until the job finishes, discarding progress events.
+    ///
+    /// # Errors
+    ///
+    /// See [`JobHandle::events`].
+    pub fn wait(&mut self) -> Result<JobStatus, String> {
+        self.events(&mut |_| {})
     }
-    if let Some(age) = max_age_secs {
-        request.set("max_age_secs", u64_value(age));
+
+    /// The job's current status.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors and unknown-job faults.
+    pub fn status(&mut self) -> Result<JobStatus, String> {
+        self.client
+            .status(Some(self.job))?
+            .into_iter()
+            .next()
+            .ok_or_else(|| format!("daemon answered no status for job {}", self.job))
     }
-    if !keep.is_empty() {
-        request.set(
-            "keep",
-            Value::Array(keep.iter().map(|p| Value::Str(p.clone())).collect()),
-        );
+
+    /// Fetches the finished job's stored checkpoint by content digest —
+    /// digest-verified bytes through the connection, independent of any
+    /// server-local path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error while the job is unfinished, plus every
+    /// [`Client::fetch`] failure mode.
+    pub fn artifact(&mut self) -> Result<(StoreEntry, Vec<u8>), String> {
+        let status = self.status()?;
+        let digest = status.digest.ok_or_else(|| {
+            format!(
+                "job {} has no artifact yet (state {})",
+                self.job,
+                status.state.as_str()
+            )
+        })?;
+        self.client.fetch(&FetchKey::Digest(digest))
     }
-    let response = Client::connect(addr)?.request(&request)?;
-    println!(
-        "gc: removed {} entries, {} objects; kept {} entries",
-        req(&response, "removed_entries")?.as_i64()?,
-        req(&response, "removed_objects")?.as_i64()?,
-        req(&response, "kept_entries")?.as_i64()?
-    );
-    Ok(())
+
+    /// Gives the underlying connection back (e.g. to issue a `shutdown`
+    /// after waiting a job out).
+    pub fn into_client(self) -> Client {
+        self.client
+    }
 }

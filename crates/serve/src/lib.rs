@@ -1,0 +1,11 @@
+//! `autocat-serve` as a library: the typed wire protocol ([`proto`]),
+//! the daemon ([`server`]), the typed client ([`client`]) and the CLI
+//! subcommands ([`cmd`]). The binary (`src/main.rs`) is a flag parser
+//! over this crate; the integration tests drive the same public surface.
+
+pub mod client;
+pub mod cmd;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, JobHandle};

@@ -1,15 +1,17 @@
 //! `autocat-serve`: the always-on exploration daemon and its client
-//! subcommands in one binary.
+//! subcommands in one binary (a flag parser over the `autocat_serve`
+//! library — see `crate::cmd` for the behavior).
 //!
 //! ```text
-//! autocat-serve daemon [--addr 127.0.0.1:0] [--store DIR] [--workers N]
+//! autocat-serve daemon   [--addr 127.0.0.1:0] [--store DIR] [--workers N]
 //! autocat-serve ping     --addr HOST:PORT
 //! autocat-serve submit   --addr HOST:PORT (--scenario NAME | --file PATH)
-//!                        [--wait] [--steps N] [--seed N] [--lanes N]
-//!                        [--eval-episodes N] [--shards N]
+//!                        [--wait] [--priority N] [--steps N] [--seed N]
+//!                        [--lanes N] [--eval-episodes N] [--shards N]
+//! autocat-serve watch    --addr HOST:PORT --job N
 //! autocat-serve status   --addr HOST:PORT [--job N]
-//! autocat-serve fetch    --addr HOST:PORT --scenario NAME --out PATH
-//!                        [--which best|latest]
+//! autocat-serve fetch    --addr HOST:PORT (--scenario NAME | --digest HEX)
+//!                        --out PATH [--which best|latest]
 //! autocat-serve gc       --addr HOST:PORT [--max-count N]
 //!                        [--max-age-secs N] [--keep PATTERN]...
 //! autocat-serve shutdown --addr HOST:PORT
@@ -17,17 +19,16 @@
 //!
 //! The daemon prints `autocat-serve: listening on HOST:PORT` on startup
 //! (port 0 resolves to a real free port in that line), which is how
-//! ci.sh discovers where to point the client.
-
-mod client;
-mod proto;
-mod server;
+//! ci.sh discovers where to point the client. `--workers 0` runs a
+//! queue-only daemon: submissions are accepted and journaled but not
+//! trained until a daemon with workers reopens the same store.
 
 use autocat_bench::cli::TrainOverrides;
+use autocat_serve::{cmd, server};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: autocat-serve <daemon|ping|submit|status|fetch|gc|shutdown> [flags]\n\
+        "usage: autocat-serve <daemon|ping|submit|watch|status|fetch|gc|shutdown> [flags]\n\
          run with a subcommand; see the crate docs for per-command flags"
     );
     std::process::exit(2);
@@ -41,9 +42,11 @@ fn run(command: &str, args: &[String]) -> Result<(), String> {
     let mut file: Option<String> = None;
     let mut out: Option<String> = None;
     let mut which = "best".to_string();
+    let mut digest: Option<String> = None;
     let mut job: Option<u64> = None;
     let mut wait = false;
-    let mut max_count: Option<usize> = None;
+    let mut priority = 0i64;
+    let mut max_count: Option<u64> = None;
     let mut max_age_secs: Option<u64> = None;
     let mut keep: Vec<String> = Vec::new();
     let mut overrides = TrainOverrides::default();
@@ -63,8 +66,14 @@ fn run(command: &str, args: &[String]) -> Result<(), String> {
             "--file" => file = Some(value("--file")?),
             "--out" => out = Some(value("--out")?),
             "--which" => which = value("--which")?,
+            "--digest" => digest = Some(value("--digest")?),
             "--job" => job = Some(value("--job")?.parse().map_err(|e| format!("--job: {e}"))?),
             "--wait" => wait = true,
+            "--priority" => {
+                priority = value("--priority")?
+                    .parse()
+                    .map_err(|e| format!("--priority: {e}"))?;
+            }
             "--max-count" => {
                 max_count = Some(
                     value("--max-count")?
@@ -99,23 +108,26 @@ fn run(command: &str, args: &[String]) -> Result<(), String> {
             store_dir: store,
             workers,
         }),
-        "ping" => client::ping(&addr_for("ping")?),
-        "submit" => client::submit(
+        "ping" => cmd::ping(&addr_for("ping")?),
+        "submit" => cmd::submit(
             &addr_for("submit")?,
             scenario.as_deref(),
             file.as_deref(),
             &overrides,
+            priority,
             wait,
         ),
-        "status" => client::status(&addr_for("status")?, job),
-        "fetch" => client::fetch(
+        "watch" => cmd::watch(&addr_for("watch")?, job.ok_or("watch requires --job N")?),
+        "status" => cmd::status(&addr_for("status")?, job),
+        "fetch" => cmd::fetch(
             &addr_for("fetch")?,
-            scenario.as_deref().ok_or("fetch requires --scenario")?,
+            scenario.as_deref(),
             &which,
+            digest.as_deref(),
             out.as_deref().ok_or("fetch requires --out")?,
         ),
-        "gc" => client::gc(&addr_for("gc")?, max_count, max_age_secs, &keep),
-        "shutdown" => client::shutdown(&addr_for("shutdown")?),
+        "gc" => cmd::gc(&addr_for("gc")?, max_count, max_age_secs, &keep),
+        "shutdown" => cmd::shutdown(&addr_for("shutdown")?),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }

@@ -1,18 +1,44 @@
 //! The daemon: a TCP accept loop, a thread-per-connection protocol
-//! handler, and a `std::thread` worker pool draining a queued-job table.
+//! handler, a journal-backed job table, and a `std::thread` worker pool
+//! draining it by priority.
 //!
 //! # Job lifecycle
 //!
 //! `submit` validates the scenario (registry name or inline JSON),
-//! applies the per-job overrides, and appends a **queued** job. A worker
-//! picks the lowest-id queued job, marks it **running**, and trains it
-//! through the *same* shared code path as one-shot `scenario-run`/`sweep`
-//! (`autocat_bench::sweep::train_trainer` + `row_and_stats`), reporting
-//! `(steps, avg return)` progress into the job table after every PPO
+//! applies the per-job overrides, and either **attaches** the submission
+//! to an equivalent job (see the dedup contract below) or appends a
+//! **queued** job — durably: the submit record hits the journal before
+//! the client hears an id, so an acknowledged job survives `kill -9`. A
+//! worker claims the highest-priority queued job (FIFO within a
+//! priority), marks it **running**, and trains it through the *same*
+//! shared code path as one-shot `scenario-run`/`sweep`
+//! (`autocat_bench::sweep::train_trainer` + `row_and_stats`), appending
+//! `(steps, avg return)` to the job's progress log after every PPO
 //! update. On success the canonical binary checkpoint bytes go into the
 //! content-addressed store and the job becomes **done**, carrying the
 //! object digest plus the two bit-identity fingerprints (params digest,
 //! eval stats digest); on error it becomes **failed** with the message.
+//!
+//! # Durable job table
+//!
+//! Every lifecycle transition is journaled (`jobs.jsonl` next to the
+//! store index, an [`autocat_store::Journal`]): `submit` with the full
+//! post-override scenario, `running`, and the terminal `done`/`failed`
+//! status. On startup the journal replays into the job table — finished
+//! jobs keep serving `status`/`watch` history, queued jobs wait for
+//! workers again, and **running** jobs (interrupted by whatever killed
+//! the last daemon) are re-enqueued: the deterministic trainer guarantees
+//! the rerun produces bit-identical artifacts.
+//!
+//! # Dedup by spec digest
+//!
+//! The queue is keyed by train-spec digest (FNV-1a over the post-override
+//! scenario JSON). A submission whose digest matches a queued or running
+//! job attaches to it — both watchers replay the *same* progress log and
+//! terminal event, so concurrent identical submissions share one training
+//! run. A digest matching a **done** job resolves instantly (attached,
+//! terminal event on watch) as long as its object is still in the store;
+//! a gc'd object or a failed job means a fresh training run.
 //!
 //! # Determinism contract
 //!
@@ -20,91 +46,58 @@
 //! training loop (the progress callback is observation-only), same
 //! save-then-evaluate order as `sweep::train_one`, same evaluation plan
 //! (`row_and_stats` → `EVAL_LANES` lanes, the scenario's episode budget).
-//! ci.sh holds this gate by comparing the fetched object's bytes and both
-//! digests against a `scenario-run --ckpt` of the same scenario + seed.
-//! Worker-pool width schedules *which* jobs run concurrently; it cannot
-//! change any job's result.
+//! ci.sh holds this gate by comparing the streamed object's bytes and
+//! both digests against a `scenario-run --ckpt` of the same scenario +
+//! seed — including across a `kill -9` + restart. Worker-pool width and
+//! priorities schedule *which* jobs run concurrently; they cannot change
+//! any job's result.
 
-use crate::proto;
+use crate::proto::{
+    self, fault, ErrorKind, Event, Fault, FetchKey, JobSource, JobState, JobStatus, Request,
+    Response, Which, PROTOCOL_VERSION,
+};
+use autocat_bench::cli::TrainOverrides;
 use autocat_bench::sweep::{row_and_stats, spec_digest, train_trainer};
 use autocat_nn::state::params_digest;
-use autocat_scenario::value::{req, u64_value, Value};
+use autocat_scenario::value::{self, req, u64_from, u64_value, Value};
 use autocat_scenario::Scenario;
-use autocat_store::{codec, EntryMeta, RetentionPolicy, Store, StoreEntry};
+use autocat_store::{codec, EntryMeta, Journal, RetentionPolicy, Store, StoreEntry};
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Journal kind tag for the job table.
+pub const JOURNAL_KIND: &str = "autocat-jobs";
+/// Job-journal format version.
+pub const JOURNAL_VERSION: i64 = 1;
 
 /// Daemon settings parsed from the `daemon` subcommand's flags.
 pub struct DaemonConfig {
     /// Bind address; port 0 picks a free port (printed on startup).
     pub addr: String,
-    /// Store root directory.
+    /// Store root directory (the job journal lives next to its index).
     pub store_dir: String,
-    /// Worker threads training jobs concurrently.
+    /// Worker threads training jobs concurrently. `0` is a queue-only
+    /// front end: jobs are accepted and journaled but never trained —
+    /// until a daemon with workers opens the same store.
     pub workers: usize,
 }
 
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum JobState {
-    Queued,
-    Running,
-    Done,
-    Failed,
+/// The job journal's path under a store root.
+pub fn journal_path(store_dir: impl AsRef<Path>) -> std::path::PathBuf {
+    store_dir.as_ref().join("jobs.jsonl")
 }
 
-impl JobState {
-    fn as_str(self) -> &'static str {
-        match self {
-            JobState::Queued => "queued",
-            JobState::Running => "running",
-            JobState::Done => "done",
-            JobState::Failed => "failed",
-        }
-    }
-}
-
+#[derive(Debug)]
 struct Job {
-    id: u64,
+    status: JobStatus,
     scenario: Scenario,
-    spec_digest: u64,
-    state: JobState,
-    steps: u64,
-    avg_return: f32,
-    digest: Option<u64>,
-    params_digest: Option<u64>,
-    eval_digest: Option<u64>,
-    accuracy: Option<f64>,
-    error: Option<String>,
-}
-
-impl Job {
-    fn to_value(&self) -> Value {
-        let mut table = Value::table();
-        table.set("job", u64_value(self.id));
-        table.set("scenario", Value::Str(self.scenario.name.clone()));
-        table.set("spec_digest", proto::digest_str(self.spec_digest));
-        table.set("state", Value::Str(self.state.as_str().to_string()));
-        table.set("steps", u64_value(self.steps));
-        table.set("avg_return", Value::Float(f64::from(self.avg_return)));
-        if let Some(digest) = self.digest {
-            table.set("digest", proto::digest_str(digest));
-        }
-        if let Some(digest) = self.params_digest {
-            table.set("params_digest", proto::digest_str(digest));
-        }
-        if let Some(digest) = self.eval_digest {
-            table.set("eval_digest", proto::digest_str(digest));
-        }
-        if let Some(accuracy) = self.accuracy {
-            table.set("accuracy", Value::Float(accuracy));
-        }
-        if let Some(error) = &self.error {
-            table.set("error", Value::Str(error.clone()));
-        }
-        table
-    }
+    /// Full `(steps, avg return)` history, one entry per PPO update —
+    /// watch streams replay it from the start so every watcher of a job
+    /// sees the identical event sequence.
+    progress: Vec<(u64, f32)>,
 }
 
 struct Shared {
@@ -113,8 +106,12 @@ struct Shared {
     /// update).
     signal: Condvar,
     store: Mutex<Store>,
+    journal: Mutex<Journal>,
     shutdown: AtomicBool,
 }
+
+// Lock order: `jobs` may be held while taking `store` or `journal`;
+// never the reverse.
 
 fn now_unix() -> u64 {
     std::time::SystemTime::now()
@@ -123,13 +120,115 @@ fn now_unix() -> u64 {
         .unwrap_or(0)
 }
 
+// ---------------------------------------------------------------------------
+// Journal records
+// ---------------------------------------------------------------------------
+
+fn submit_record(status: &JobStatus, scenario: &Scenario) -> Value {
+    let mut record = Value::table();
+    record.set("op", Value::Str("submit".into()));
+    record.set("status", status.to_value());
+    record.set(
+        "scenario",
+        value::from_json(&scenario.to_json()).expect("scenario JSON is always valid"),
+    );
+    record
+}
+
+fn running_record(job: u64) -> Value {
+    let mut record = Value::table();
+    record.set("op", Value::Str("running".into()));
+    record.set("job", u64_value(job));
+    record
+}
+
+fn terminal_record(status: &JobStatus) -> Value {
+    let mut record = Value::table();
+    record.set(
+        "op",
+        Value::Str(
+            match status.state {
+                JobState::Done => "done",
+                JobState::Failed => "failed",
+                _ => unreachable!("terminal record for a live job"),
+            }
+            .into(),
+        ),
+    );
+    record.set("status", status.to_value());
+    record
+}
+
+/// Folds journal records into a job table. Returns the jobs and how many
+/// interrupted (journaled `running`, no terminal) jobs were re-enqueued.
+fn replay(records: &[Value]) -> Result<(Vec<Job>, usize), String> {
+    let mut jobs: Vec<Job> = Vec::new();
+    for (i, record) in records.iter().enumerate() {
+        let err = |e: String| format!("journal record {}: {e}", i + 1);
+        let table = record.as_table().map_err(err)?;
+        let find = |jobs: &mut Vec<Job>, id: u64| -> Result<usize, String> {
+            jobs.iter()
+                .position(|j| j.status.job == id)
+                .ok_or_else(|| format!("journal record {}: unknown job {id}", i + 1))
+        };
+        match req(table, "op").and_then(Value::as_str).map_err(err)? {
+            "submit" => {
+                let status =
+                    JobStatus::from_value(req(table, "status").map_err(err)?).map_err(err)?;
+                let scenario =
+                    Scenario::from_json(&value::to_json(req(table, "scenario").map_err(err)?))
+                        .map_err(err)?;
+                jobs.push(Job {
+                    status,
+                    scenario,
+                    progress: Vec::new(),
+                });
+            }
+            "running" => {
+                let id = u64_from(req(table, "job").map_err(err)?).map_err(err)?;
+                let at = find(&mut jobs, id)?;
+                jobs[at].status.state = JobState::Running;
+            }
+            "done" | "failed" => {
+                let status =
+                    JobStatus::from_value(req(table, "status").map_err(err)?).map_err(err)?;
+                let at = find(&mut jobs, status.job)?;
+                jobs[at].status = status;
+            }
+            other => return Err(format!("journal record {}: unknown op `{other}`", i + 1)),
+        }
+    }
+    // A job journaled `running` with no terminal record was interrupted
+    // mid-training; re-enqueue it — the deterministic trainer makes the
+    // rerun's artifact bit-identical to what the lost run would have made.
+    let mut interrupted = 0;
+    for job in &mut jobs {
+        if job.status.state == JobState::Running {
+            job.status.state = JobState::Queued;
+            interrupted += 1;
+        }
+    }
+    Ok((jobs, interrupted))
+}
+
+// ---------------------------------------------------------------------------
+// Daemon
+// ---------------------------------------------------------------------------
+
 /// Runs the daemon until a `shutdown` request arrives.
 ///
 /// # Errors
 ///
-/// Returns an error if the store cannot open or the listener cannot bind.
+/// Returns an error if the store or journal cannot open or the listener
+/// cannot bind.
 pub fn run(config: &DaemonConfig) -> Result<(), String> {
     let store = Store::open(&config.store_dir)?;
+    let (journal, records) = Journal::open(
+        journal_path(&config.store_dir),
+        JOURNAL_KIND,
+        JOURNAL_VERSION,
+    )?;
+    let (jobs, interrupted) = replay(&records)?;
     let listener =
         TcpListener::bind(&config.addr).map_err(|e| format!("binding {}: {e}", config.addr))?;
     let local = listener
@@ -138,18 +237,31 @@ pub fn run(config: &DaemonConfig) -> Result<(), String> {
     // The startup contract ci.sh greps for: one line, actual port filled in.
     println!("autocat-serve: listening on {local}");
     println!(
-        "autocat-serve: store at {}, {} worker(s)",
+        "autocat-serve: store at {}, {} worker(s), protocol v{PROTOCOL_VERSION}",
         config.store_dir, config.workers
     );
+    if !jobs.is_empty() {
+        let queued = jobs
+            .iter()
+            .filter(|j| j.status.state == JobState::Queued)
+            .count();
+        println!(
+            "autocat-serve: journal replayed {} job(s): {} queued ({} interrupted mid-run)",
+            jobs.len(),
+            queued,
+            interrupted
+        );
+    }
 
     let shared = Arc::new(Shared {
-        jobs: Mutex::new(Vec::new()),
+        jobs: Mutex::new(jobs),
         signal: Condvar::new(),
         store: Mutex::new(store),
+        journal: Mutex::new(journal),
         shutdown: AtomicBool::new(false),
     });
 
-    let workers: Vec<_> = (0..config.workers.max(1))
+    let workers: Vec<_> = (0..config.workers)
         .map(|_| {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || worker_loop(&shared))
@@ -178,35 +290,50 @@ pub fn run(config: &DaemonConfig) -> Result<(), String> {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        // Claim the lowest-id queued job, or sleep until signaled.
+        // Claim the highest-priority queued job (FIFO within a priority),
+        // or sleep until signaled.
         let claimed = {
             let mut jobs = shared.jobs.lock().expect("job table poisoned");
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                if let Some(job) = jobs.iter_mut().find(|j| j.state == JobState::Queued) {
-                    job.state = JobState::Running;
-                    break Some((job.id, job.scenario.clone(), job.spec_digest));
+                let next = jobs
+                    .iter_mut()
+                    .filter(|j| j.status.state == JobState::Queued)
+                    .max_by_key(|j| (j.status.priority, std::cmp::Reverse(j.status.job)));
+                if let Some(job) = next {
+                    job.status.state = JobState::Running;
+                    let claim = (job.status.job, job.scenario.clone());
+                    // jobs → journal is the sanctioned lock order.
+                    if let Ok(mut journal) = shared.journal.lock() {
+                        if let Err(e) = journal.append(&running_record(claim.0)) {
+                            eprintln!("autocat-serve: journal: {e}");
+                        }
+                    }
+                    break claim;
                 }
                 jobs = shared.signal.wait(jobs).expect("job table poisoned");
             }
         };
-        let Some((id, scenario, spec)) = claimed else {
-            return;
-        };
-        let result = run_job(shared, id, &scenario, spec);
+        let (id, scenario) = claimed;
+        let result = run_job(shared, id, &scenario);
         {
             let mut jobs = shared.jobs.lock().expect("job table poisoned");
             let job = jobs
                 .iter_mut()
-                .find(|j| j.id == id)
+                .find(|j| j.status.job == id)
                 .expect("claimed job vanished");
             match result {
                 Ok(()) => {}
                 Err(e) => {
-                    job.state = JobState::Failed;
-                    job.error = Some(e);
+                    job.status.state = JobState::Failed;
+                    job.status.error = Some(e);
+                    if let Ok(mut journal) = shared.journal.lock() {
+                        if let Err(e) = journal.append(&terminal_record(&job.status)) {
+                            eprintln!("autocat-serve: journal: {e}");
+                        }
+                    }
                 }
             }
         }
@@ -216,12 +343,14 @@ fn worker_loop(shared: &Shared) {
 
 /// Trains one job through the shared one-shot code path and stores the
 /// checkpoint. See the module docs for the determinism contract.
-fn run_job(shared: &Shared, id: u64, scenario: &Scenario, spec: u64) -> Result<(), String> {
+fn run_job(shared: &Shared, id: u64, scenario: &Scenario) -> Result<(), String> {
+    let spec = spec_digest(scenario);
     let mut trainer = train_trainer(scenario, |steps, avg_return| {
         if let Ok(mut jobs) = shared.jobs.lock() {
-            if let Some(job) = jobs.iter_mut().find(|j| j.id == id) {
-                job.steps = steps;
-                job.avg_return = avg_return;
+            if let Some(job) = jobs.iter_mut().find(|j| j.status.job == id) {
+                job.status.steps = steps;
+                job.status.avg_return = avg_return;
+                job.progress.push((steps, avg_return));
             }
         }
         shared.signal.notify_all();
@@ -249,31 +378,73 @@ fn run_job(shared: &Shared, id: u64, scenario: &Scenario, spec: u64) -> Result<(
     let mut jobs = shared.jobs.lock().expect("job table poisoned");
     let job = jobs
         .iter_mut()
-        .find(|j| j.id == id)
+        .find(|j| j.status.job == id)
         .ok_or_else(|| format!("job {id} vanished"))?;
-    job.state = JobState::Done;
-    job.steps = row.steps;
-    job.avg_return = row.final_return;
-    job.digest = Some(digest);
-    job.params_digest = Some(params);
-    job.eval_digest = Some(stats.digest());
-    job.accuracy = Some(row.accuracy());
+    job.status.state = JobState::Done;
+    job.status.steps = row.steps;
+    job.status.avg_return = row.final_return;
+    job.status.digest = Some(digest);
+    job.status.params_digest = Some(params);
+    job.status.eval_digest = Some(stats.digest());
+    job.status.accuracy = Some(row.accuracy());
+    if let Ok(mut journal) = shared.journal.lock() {
+        if let Err(e) = journal.append(&terminal_record(&job.status)) {
+            eprintln!("autocat-serve: journal: {e}");
+        }
+    }
     Ok(())
 }
+
+// ---------------------------------------------------------------------------
+// Connections
+// ---------------------------------------------------------------------------
 
 fn serve_connection(shared: &Shared, stream: TcpStream, local: &str) -> Result<(), String> {
     let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
     let mut reader = BufReader::new(stream);
-    while let Some(request) = proto::read_line(&mut reader)? {
-        let response = handle(shared, &request, &mut writer);
-        match response {
-            Ok(Some(payload)) => {
-                proto::write_line(&mut writer, &payload).map_err(|e| e.to_string())?;
-            }
-            Ok(None) => {} // watch streamed its own lines
+    let mut greeted = false;
+    while let Some(line) = proto::read_line(&mut reader)? {
+        let request = match Request::from_value(&line) {
+            Ok(request) => request,
             Err(e) => {
-                proto::write_line(&mut writer, &proto::error(&e)).map_err(|e| e.to_string())?;
+                write_error(&mut writer, ErrorKind::BadRequest, &e)?;
+                continue;
             }
+        };
+        if let Request::Hello { version } = request {
+            if version != PROTOCOL_VERSION {
+                write_error(
+                    &mut writer,
+                    ErrorKind::VersionMismatch,
+                    &format!("client speaks v{version}, this daemon speaks v{PROTOCOL_VERSION}"),
+                )?;
+                return Ok(());
+            }
+            greeted = true;
+            proto::write_line(
+                &mut writer,
+                &Response::Hello {
+                    version: PROTOCOL_VERSION,
+                }
+                .to_value(),
+            )
+            .map_err(|e| e.to_string())?;
+            continue;
+        }
+        if !greeted {
+            write_error(
+                &mut writer,
+                ErrorKind::BadRequest,
+                "expected the `hello` handshake before any other request",
+            )?;
+            return Ok(());
+        }
+        match handle(shared, &request, &mut writer) {
+            Ok(Some(response)) => {
+                proto::write_line(&mut writer, &response.to_value()).map_err(|e| e.to_string())?;
+            }
+            Ok(None) => {} // watch/fetch wrote their own lines
+            Err((kind, message)) => write_error(&mut writer, kind, &message)?,
         }
         if shared.shutdown.load(Ordering::SeqCst) {
             // Wake the accept loop so `run` can join the workers and exit.
@@ -284,54 +455,121 @@ fn serve_connection(shared: &Shared, stream: TcpStream, local: &str) -> Result<(
     Ok(())
 }
 
-/// Dispatches one request. `Ok(None)` means the handler wrote its own
-/// lines (the `watch` stream); errors become `{"ok": false}` responses.
+fn write_error(writer: &mut TcpStream, kind: ErrorKind, message: &str) -> Result<(), String> {
+    proto::write_line(
+        writer,
+        &Response::Error {
+            kind,
+            message: message.to_string(),
+        }
+        .to_value(),
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// Dispatches one request — an exhaustive match over the typed protocol.
+/// `Ok(None)` means the handler wrote its own lines (the `watch` event
+/// stream, the `fetch` chunk body); a [`Fault`] becomes an error response.
 fn handle(
     shared: &Shared,
-    request: &Value,
+    request: &Request,
     writer: &mut TcpStream,
-) -> Result<Option<Value>, String> {
-    match proto::command(request)? {
-        "ping" => Ok(Some(proto::ok())),
-        "submit" => submit(shared, request).map(Some),
-        "status" => status(shared, request).map(Some),
-        "watch" => watch(shared, request, writer).map(|()| None),
-        "fetch" => fetch(shared, request).map(Some),
-        "gc" => gc(shared, request).map(Some),
-        "shutdown" => {
+) -> Result<Option<Response>, Fault> {
+    match request {
+        // Handled by the connection loop before dispatch; answering again
+        // keeps re-handshakes harmless.
+        Request::Hello { .. } => Ok(Some(Response::Hello {
+            version: PROTOCOL_VERSION,
+        })),
+        Request::Ping => Ok(Some(Response::Pong)),
+        Request::Submit {
+            source,
+            overrides,
+            priority,
+        } => submit(shared, source, overrides, *priority).map(Some),
+        Request::Status { job } => status(shared, *job).map(Some),
+        Request::Watch { job } => watch(shared, *job, writer).map(|()| None),
+        Request::Fetch { key } => fetch(shared, key, writer).map(|()| None),
+        Request::Gc {
+            max_count,
+            max_age_secs,
+            keep,
+        } => gc(shared, *max_count, *max_age_secs, keep).map(Some),
+        Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             shared.signal.notify_all();
-            Ok(Some(proto::ok()))
+            Ok(Some(Response::ShuttingDown))
         }
-        other => Err(format!("unknown command `{other}`")),
     }
 }
 
-fn submit(shared: &Shared, request: &Value) -> Result<Value, String> {
-    let table = request.as_table()?;
-    let mut scenario = match (table.get("scenario"), table.get("inline")) {
-        (Some(name), None) => {
-            let name = name.as_str()?;
-            autocat_scenario::lookup(name)
-                .ok_or_else(|| format!("unknown scenario `{name}` (not in the registry)"))?
-        }
-        (None, Some(inline)) => Scenario::from_json(&autocat_scenario::value::to_json(inline))?,
-        _ => {
-            return Err("submit needs exactly one of `scenario` (registry name) or `inline`".into())
-        }
+// ---------------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------------
+
+fn submit(
+    shared: &Shared,
+    source: &JobSource,
+    overrides: &TrainOverrides,
+    priority: i64,
+) -> Result<Response, Fault> {
+    let mut scenario = match source {
+        JobSource::Registry(name) => autocat_scenario::lookup(name).ok_or_else(|| {
+            fault(
+                ErrorKind::UnknownScenario,
+                format!("unknown scenario `{name}` (not in the registry)"),
+            )
+        })?,
+        JobSource::Inline(scenario) => (**scenario).clone(),
     };
-    if let Some(overrides) = table.get("overrides") {
-        proto::overrides_from_value(overrides)?.apply(&mut scenario);
-    }
-    scenario.validate()?;
+    overrides.apply(&mut scenario);
+    scenario
+        .validate()
+        .map_err(|e| fault(ErrorKind::BadRequest, e))?;
     let spec = spec_digest(&scenario);
 
     let mut jobs = shared.jobs.lock().expect("job table poisoned");
-    let id = jobs.len() as u64 + 1;
-    jobs.push(Job {
-        id,
-        scenario,
+    // Dedup: attach to a live (queued/running) job with the same spec...
+    if let Some(job) = jobs.iter().rev().find(|j| {
+        j.status.spec_digest == spec
+            && matches!(j.status.state, JobState::Queued | JobState::Running)
+    }) {
+        return Ok(Response::Submitted {
+            job: job.status.job,
+            spec_digest: spec,
+            attached: true,
+        });
+    }
+    // ...or to a done job whose object the store still holds (a gc'd
+    // object or a failed job means a fresh run).
+    if let Some(job) = jobs
+        .iter()
+        .rev()
+        .find(|j| j.status.spec_digest == spec && j.status.state == JobState::Done)
+    {
+        let alive = job.status.digest.is_some_and(|digest| {
+            shared
+                .store
+                .lock()
+                .expect("store poisoned")
+                .find(digest)
+                .is_some()
+        });
+        if alive {
+            return Ok(Response::Submitted {
+                job: job.status.job,
+                spec_digest: spec,
+                attached: true,
+            });
+        }
+    }
+
+    let id = jobs.iter().map(|j| j.status.job).max().unwrap_or(0) + 1;
+    let status = JobStatus {
+        job: id,
+        scenario: scenario.name.clone(),
         spec_digest: spec,
+        priority,
         state: JobState::Queued,
         steps: 0,
         avg_return: 0.0,
@@ -340,155 +578,229 @@ fn submit(shared: &Shared, request: &Value) -> Result<Value, String> {
         eval_digest: None,
         accuracy: None,
         error: None,
+    };
+    // Journal before acknowledging: once the client hears an id, the job
+    // must survive any crash.
+    shared
+        .journal
+        .lock()
+        .expect("journal poisoned")
+        .append(&submit_record(&status, &scenario))
+        .map_err(|e| fault(ErrorKind::Internal, e))?;
+    jobs.push(Job {
+        status,
+        scenario,
+        progress: Vec::new(),
     });
     drop(jobs);
     shared.signal.notify_all();
 
-    let mut response = proto::ok();
-    response.set("job", u64_value(id));
-    response.set("spec_digest", proto::digest_str(spec));
-    Ok(response)
+    Ok(Response::Submitted {
+        job: id,
+        spec_digest: spec,
+        attached: false,
+    })
 }
 
-fn status(shared: &Shared, request: &Value) -> Result<Value, String> {
-    let table = request.as_table()?;
+fn status(shared: &Shared, job: Option<u64>) -> Result<Response, Fault> {
     let jobs = shared.jobs.lock().expect("job table poisoned");
-    let mut response = proto::ok();
-    match table.get("job") {
+    let selected = match job {
         Some(id) => {
-            let id = autocat_scenario::value::u64_from(id)?;
             let job = jobs
                 .iter()
-                .find(|j| j.id == id)
-                .ok_or_else(|| format!("no job {id}"))?;
-            response.set("job_status", job.to_value());
+                .find(|j| j.status.job == id)
+                .ok_or_else(|| fault(ErrorKind::UnknownJob, format!("no job {id}")))?;
+            vec![job.status.clone()]
         }
-        None => {
-            response.set(
-                "jobs",
-                Value::Array(jobs.iter().map(Job::to_value).collect()),
-            );
-        }
-    }
-    Ok(response)
+        None => jobs.iter().map(|j| j.status.clone()).collect(),
+    };
+    Ok(Response::Status { jobs: selected })
 }
 
-/// Streams `progress` events for a job until it finishes, then one
-/// terminal `done`/`failed` event. Condvar-driven: wakes on every job
-/// update, re-emits only when the step counter moved.
-fn watch(shared: &Shared, request: &Value, writer: &mut TcpStream) -> Result<(), String> {
-    let id = autocat_scenario::value::u64_from(req(request.as_table()?, "job")?)?;
-    let mut last_steps = None;
+/// Streams a job's full progress log (every watcher sees the identical
+/// sequence, regardless of when it attached), then one terminal
+/// `done`/`failed` event.
+fn watch(shared: &Shared, id: u64, writer: &mut TcpStream) -> Result<(), Fault> {
+    let mut sent = 0usize;
     loop {
-        let (event, terminal) = {
+        let (events, terminal) = {
             let mut jobs = shared.jobs.lock().expect("job table poisoned");
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
-                    return Err("daemon shutting down".into());
+                    return Err(fault(ErrorKind::Shutdown, "daemon shutting down"));
                 }
                 let job = jobs
                     .iter()
-                    .find(|j| j.id == id)
-                    .ok_or_else(|| format!("no job {id}"))?;
-                match job.state {
-                    JobState::Done | JobState::Failed => {
-                        let mut event = job.to_value();
-                        event.set(
-                            "event",
-                            Value::Str(
-                                if job.state == JobState::Done {
-                                    "done"
-                                } else {
-                                    "failed"
-                                }
-                                .to_string(),
-                            ),
-                        );
-                        break (event, true);
-                    }
-                    _ if last_steps != Some(job.steps) => {
-                        last_steps = Some(job.steps);
-                        let mut event = job.to_value();
-                        event.set("event", Value::Str("progress".to_string()));
-                        break (event, false);
-                    }
-                    _ => {
-                        jobs = shared.signal.wait(jobs).expect("job table poisoned");
-                    }
+                    .find(|j| j.status.job == id)
+                    .ok_or_else(|| fault(ErrorKind::UnknownJob, format!("no job {id}")))?;
+                let events: Vec<Event> = job.progress[sent.min(job.progress.len())..]
+                    .iter()
+                    .map(|&(steps, avg_return)| Event::Progress {
+                        job: id,
+                        steps,
+                        avg_return,
+                    })
+                    .collect();
+                let terminal = match job.status.state {
+                    JobState::Done => Some(Event::Done {
+                        status: job.status.clone(),
+                    }),
+                    JobState::Failed => Some(Event::Failed {
+                        job: id,
+                        error: job
+                            .status
+                            .error
+                            .clone()
+                            .unwrap_or_else(|| "unknown error".into()),
+                    }),
+                    _ => None,
+                };
+                if !events.is_empty() || terminal.is_some() {
+                    break (events, terminal);
                 }
+                jobs = shared.signal.wait(jobs).expect("job table poisoned");
             }
         };
-        proto::write_line(writer, &event).map_err(|e| e.to_string())?;
-        if terminal {
+        sent += events.len();
+        for event in &events {
+            proto::write_line(writer, &event.to_value())
+                .map_err(|e| fault(ErrorKind::Internal, e.to_string()))?;
+        }
+        if let Some(event) = terminal {
+            proto::write_line(writer, &event.to_value())
+                .map_err(|e| fault(ErrorKind::Internal, e.to_string()))?;
             return Ok(());
         }
     }
 }
 
-fn entry_to_value(store: &Store, entry: &StoreEntry) -> Value {
-    let mut table = Value::table();
-    table.set("scenario", Value::Str(entry.scenario.clone()));
-    table.set("spec_digest", proto::digest_str(entry.spec_digest));
-    table.set("digest", proto::digest_str(entry.digest));
-    table.set("params_digest", proto::digest_str(entry.params_digest));
-    table.set("steps", u64_value(entry.steps));
-    table.set("accuracy", Value::Float(entry.accuracy));
-    table.set("created_unix", u64_value(entry.created_unix));
-    table.set(
-        "path",
-        Value::Str(store.object_path(entry.digest).display().to_string()),
-    );
-    table
-}
-
-/// `fetch` answers with the entry's metadata and the object's **path**
-/// rather than streaming megabytes of checkpoint through the line
-/// protocol: the daemon is a single-host design (loopback TCP), so the
-/// client copies the file and re-verifies its content digest locally.
-fn fetch(shared: &Shared, request: &Value) -> Result<Value, String> {
-    let table = request.as_table()?;
-    let name = req(table, "scenario")?.as_str()?;
-    let which = match table.get("which") {
-        Some(which) => which.as_str()?,
-        None => "best",
+/// Resolves the fetch key, reads and digest-verifies the object, and
+/// streams its bytes: the `Response::Fetch` line, then length-prefixed
+/// chunks (see the protocol docs). No server-local path crosses the wire.
+fn fetch(shared: &Shared, key: &FetchKey, writer: &mut TcpStream) -> Result<(), Fault> {
+    let (entry, bytes): (StoreEntry, Vec<u8>) = {
+        let store = shared.store.lock().expect("store poisoned");
+        let entry = match key {
+            FetchKey::Scenario { name, which } => match which {
+                Which::Best => store.best(name),
+                Which::Latest => store.latest(name),
+            }
+            .ok_or_else(|| {
+                fault(
+                    ErrorKind::NotFound,
+                    format!("no stored checkpoint for `{name}`"),
+                )
+            })?,
+            FetchKey::Digest(digest) => store.find(*digest).ok_or_else(|| {
+                fault(
+                    ErrorKind::NotFound,
+                    format!("no stored object {}", autocat_store::digest_hex(*digest)),
+                )
+            })?,
+        };
+        // fetch_bytes digest-verifies: a corrupt object fails the fetch
+        // here, it never surfaces as silently-wrong weights on a client.
+        let bytes = store
+            .fetch_bytes(entry.digest)
+            .map_err(|e| fault(ErrorKind::Internal, e))?;
+        (entry.clone(), bytes)
     };
-    let store = shared.store.lock().expect("store poisoned");
-    let entry = match which {
-        "best" => store.best(name),
-        "latest" => store.latest(name),
-        other => return Err(format!("unknown fetch mode `{other}` (best|latest)")),
-    }
-    .ok_or_else(|| format!("no stored checkpoint for `{name}`"))?;
-    // Verify before answering: a corrupt object must fail the fetch, not
-    // surface later as silently-wrong weights on the client.
-    store.fetch_bytes(entry.digest)?;
-    let mut response = proto::ok();
-    response.set("entry", entry_to_value(&store, entry));
-    Ok(response)
+    let response = Response::Fetch {
+        entry,
+        len: bytes.len() as u64,
+    };
+    proto::write_line(writer, &response.to_value())
+        .map_err(|e| fault(ErrorKind::Internal, e.to_string()))?;
+    proto::write_chunks(writer, &bytes).map_err(|e| fault(ErrorKind::Internal, e.to_string()))
 }
 
-fn gc(shared: &Shared, request: &Value) -> Result<Value, String> {
-    let table = request.as_table()?;
+fn gc(
+    shared: &Shared,
+    max_count: Option<u64>,
+    max_age_secs: Option<u64>,
+    keep: &[String],
+) -> Result<Response, Fault> {
     let mut policy = RetentionPolicy::default();
-    if let Some(count) = table.get("max_count") {
-        policy.max_count = count.as_usize()?;
+    if let Some(count) = max_count {
+        policy.max_count = count as usize;
     }
-    if let Some(age) = table.get("max_age_secs") {
-        policy.max_age_secs = autocat_scenario::value::u64_from(age)?;
+    if let Some(age) = max_age_secs {
+        policy.max_age_secs = age;
     }
-    if let Some(patterns) = table.get("keep") {
-        for pattern in patterns.as_array()? {
-            policy.keep_patterns.push(pattern.as_str()?.to_string());
-        }
-    }
+    policy.keep_patterns.extend(keep.iter().cloned());
     let stats = shared
         .store
         .lock()
         .expect("store poisoned")
-        .gc(&policy, now_unix())?;
-    let mut response = proto::ok();
-    response.set("removed_entries", Value::Int(stats.removed_entries as i64));
-    response.set("removed_objects", Value::Int(stats.removed_objects as i64));
-    response.set("kept_entries", Value::Int(stats.kept_entries as i64));
-    Ok(response)
+        .gc(&policy, now_unix())
+        .map_err(|e| fault(ErrorKind::Internal, e))?;
+    Ok(Response::Gc {
+        removed_entries: stats.removed_entries as u64,
+        removed_objects: stats.removed_objects as u64,
+        kept_entries: stats.kept_entries as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queued_status(id: u64, spec: u64, priority: i64) -> JobStatus {
+        JobStatus {
+            job: id,
+            scenario: "table4-6".into(),
+            spec_digest: spec,
+            priority,
+            state: JobState::Queued,
+            steps: 0,
+            avg_return: 0.0,
+            digest: None,
+            params_digest: None,
+            eval_digest: None,
+            accuracy: None,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn replay_reconstructs_states_and_reenqueues_interrupted_jobs() {
+        let scenario = autocat_scenario::lookup("table4-6").unwrap();
+        let a = queued_status(1, 0x11, 0);
+        let b = queued_status(2, 0x22, 5);
+        let c = queued_status(3, 0x33, 0);
+        let mut done = a.clone();
+        done.state = JobState::Done;
+        done.steps = 512;
+        done.digest = Some(0xaa);
+        done.params_digest = Some(0xbb);
+        done.eval_digest = Some(0xcc);
+        done.accuracy = Some(1.0);
+        let records = vec![
+            submit_record(&a, &scenario),
+            submit_record(&b, &scenario),
+            running_record(1),
+            terminal_record(&done),
+            running_record(2), // interrupted: no terminal record
+            submit_record(&c, &scenario),
+        ];
+        let (jobs, interrupted) = replay(&records).unwrap();
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(interrupted, 1);
+        assert_eq!(jobs[0].status, done, "terminal status replayed whole");
+        assert_eq!(jobs[1].status.state, JobState::Queued, "re-enqueued");
+        assert_eq!(jobs[1].status.priority, 5, "priority survives replay");
+        assert_eq!(jobs[2].status.state, JobState::Queued);
+        assert_eq!(jobs[2].scenario.name, "table4-6");
+    }
+
+    #[test]
+    fn replay_rejects_unknown_ops_and_dangling_ids() {
+        let mut bogus = Value::table();
+        bogus.set("op", Value::Str("explode".into()));
+        let err = replay(&[bogus]).unwrap_err();
+        assert!(err.contains("unknown op"), "{err}");
+
+        let err = replay(&[running_record(7)]).unwrap_err();
+        assert!(err.contains("unknown job 7"), "{err}");
+    }
 }

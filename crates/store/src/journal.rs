@@ -1,0 +1,228 @@
+//! A versioned append-only JSONL journal: the durability primitive under
+//! the serving daemon's job table.
+//!
+//! The file's first line is a header naming the journal kind and format
+//! version; every following line is one [`Value`] record, appended and
+//! flushed as it happens. Replaying the journal is just reading the
+//! records back in order — what they *mean* is the caller's business
+//! (the daemon folds job-lifecycle records into a job table).
+//!
+//! ```text
+//! {"journal": "autocat-jobs", "version": 1}
+//! {"op": "submit", "job": 1, ...}
+//! {"op": "running", "job": 1}
+//! {"op": "done", "job": 1, ...}
+//! ```
+//!
+//! # Durability contract
+//!
+//! A record is durable once its newline reaches the operating system —
+//! `append` hands the whole line to the kernel in one unbuffered write,
+//! so a killed *process* (SIGKILL included) loses nothing acknowledged.
+//! A torn final line (a crash mid-append, a full disk) is tolerated on
+//! open: the partial tail is truncated away and replay sees every record
+//! up to it. A torn line is dropped even when its prefix happens to parse
+//! — `"steps": 12` may be the torn prefix of `"steps": 123`, so only a
+//! newline terminates a record. Anything else malformed (a bad header, an
+//! unparsable *interior* line) is an error: refusing to run beats
+//! replaying a journal we only partly understand.
+
+use autocat_nn::value::{self, req, Value};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// An open journal, positioned for appending. See the [module docs](self).
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: std::fs::File,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal at `path`, verifying its
+    /// header against `kind` and `version`, and returns it along with the
+    /// replayed records in append order. A torn final line is truncated
+    /// away; see the module docs for the durability contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure, a header mismatch (wrong kind or
+    /// version), or a malformed interior record.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        kind: &str,
+        version: i64,
+    ) -> Result<(Journal, Vec<Value>), String> {
+        let path = path.into();
+        let mut records = Vec::new();
+        if path.exists() {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            // Only newline-terminated lines are records; a trailing
+            // partial line is a torn append.
+            let complete_len = text.rfind('\n').map_or(0, |i| i + 1);
+            let mut lines = text[..complete_len].lines();
+            let header = lines
+                .next()
+                .ok_or_else(|| format!("{}: empty journal (missing header)", path.display()))?;
+            Self::check_header(header, kind, version)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            for (i, line) in lines.enumerate() {
+                let record = value::from_json(line)
+                    .map_err(|e| format!("{}: record {}: {e}", path.display(), i + 1))?;
+                records.push(record);
+            }
+            if complete_len != text.len() {
+                // Truncate the torn tail so the next append starts a
+                // clean line instead of corrupting it.
+                let file = std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(|e| format!("opening {}: {e}", path.display()))?;
+                file.set_len(complete_len as u64)
+                    .map_err(|e| format!("truncating {}: {e}", path.display()))?;
+            }
+        } else {
+            let mut header = Value::table();
+            header.set("journal", Value::Str(kind.to_string()));
+            header.set("version", Value::Int(version));
+            let mut line = value::to_json(&header);
+            line.push('\n');
+            std::fs::write(&path, line).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        }
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("opening {}: {e}", path.display()))?;
+        Ok((Journal { path, file }, records))
+    }
+
+    fn check_header(line: &str, kind: &str, version: i64) -> Result<(), String> {
+        let header = value::from_json(line).map_err(|e| format!("journal header: {e}"))?;
+        let table = header.as_table()?;
+        let found_kind = req(table, "journal")?.as_str()?;
+        if found_kind != kind {
+            return Err(format!(
+                "journal kind `{found_kind}` (this is a `{kind}` journal)"
+            ));
+        }
+        let found_version = req(table, "version")?.as_i64()?;
+        if found_version != version {
+            return Err(format!(
+                "unsupported journal version {found_version} (this build reads {version})"
+            ));
+        }
+        Ok(())
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record as one line, handed to the kernel in a single
+    /// unbuffered write (durable against process death; see module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn append(&mut self, record: &Value) -> Result<(), String> {
+        let mut line = value::to_json(record);
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .map_err(|e| format!("appending to {}: {e}", self.path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("autocat-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn record(tag: i64) -> Value {
+        let mut table = Value::table();
+        table.set("op", Value::Str("test".into()));
+        table.set("tag", Value::Int(tag));
+        table
+    }
+
+    #[test]
+    fn records_replay_in_append_order_across_reopens() {
+        let path = temp_path("replay.jsonl");
+        let (mut journal, records) = Journal::open(&path, "test", 1).unwrap();
+        assert!(records.is_empty());
+        journal.append(&record(1)).unwrap();
+        journal.append(&record(2)).unwrap();
+        drop(journal);
+
+        let (mut journal, records) = Journal::open(&path, "test", 1).unwrap();
+        assert_eq!(records, vec![record(1), record(2)]);
+        journal.append(&record(3)).unwrap();
+        drop(journal);
+
+        let (_, records) = Journal::open(&path, "test", 1).unwrap();
+        assert_eq!(records, vec![record(1), record(2), record(3)]);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_stay_clean() {
+        let path = temp_path("torn.jsonl");
+        let (mut journal, _) = Journal::open(&path, "test", 1).unwrap();
+        journal.append(&record(1)).unwrap();
+        drop(journal);
+        // Simulate a crash mid-append: a record prefix with no newline.
+        // The prefix parses as JSON on its own — it must still be dropped.
+        let mut text = std::fs::read(&path).unwrap();
+        text.extend_from_slice(b"{\"op\": \"test\", \"tag\": 2}");
+        std::fs::write(&path, &text).unwrap();
+
+        let (mut journal, records) = Journal::open(&path, "test", 1).unwrap();
+        assert_eq!(records, vec![record(1)], "torn tail dropped");
+        journal.append(&record(3)).unwrap();
+        drop(journal);
+        let (_, records) = Journal::open(&path, "test", 1).unwrap();
+        assert_eq!(records, vec![record(1), record(3)], "no corruption");
+    }
+
+    #[test]
+    fn header_mismatches_are_errors() {
+        let path = temp_path("header.jsonl");
+        let (journal, _) = Journal::open(&path, "test", 1).unwrap();
+        drop(journal);
+        let err = Journal::open(&path, "other", 1).unwrap_err();
+        assert!(err.contains("kind"), "{err}");
+        let err = Journal::open(&path, "test", 2).unwrap_err();
+        assert!(err.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn malformed_interior_record_is_an_error() {
+        let path = temp_path("interior.jsonl");
+        let (mut journal, _) = Journal::open(&path, "test", 1).unwrap();
+        journal.append(&record(1)).unwrap();
+        drop(journal);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("not json\n");
+        std::fs::write(&path, &text).unwrap();
+        let err = Journal::open(&path, "test", 1).unwrap_err();
+        assert!(err.contains("record"), "{err}");
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let path = temp_path("empty.jsonl");
+        std::fs::write(&path, "\n").unwrap();
+        assert!(Journal::open(&path, "test", 1).is_err());
+        std::fs::write(&path, "").unwrap();
+        // A fully empty file has no complete lines at all.
+        assert!(Journal::open(&path, "test", 1).is_err());
+    }
+}

@@ -11,13 +11,18 @@
 //!   best/latest selection.
 //! - [`RetentionPolicy`] — max-count / max-age / glob keep-patterns,
 //!   applied only by an explicit [`Store::gc`] pass.
+//! - [`Journal`] — a versioned append-only JSONL journal (header line +
+//!   one record per line, torn-tail tolerant), the durability primitive
+//!   the serving daemon's restart-safe job table is built on.
 //!
 //! The serving daemon (`autocat-serve`) and the resumable sweep sit on
-//! top of this crate; neither adds any persistence of its own.
+//! top of this crate; all their persistence goes through it.
 
 pub mod codec;
+pub mod journal;
 pub mod retention;
 pub mod store;
 
+pub use journal::Journal;
 pub use retention::{glob_match, RetentionPolicy};
 pub use store::{digest_from_hex, digest_hex, EntryMeta, GcStats, Store, StoreEntry};

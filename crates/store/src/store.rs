@@ -62,6 +62,40 @@ pub struct StoreEntry {
     pub created_unix: u64,
 }
 
+impl StoreEntry {
+    /// Encodes the entry as a [`Value`] table — the form both the index
+    /// file and the serve protocol's `fetch` response carry.
+    pub fn to_value(&self) -> Value {
+        let mut table = Value::table();
+        table.set("scenario", Value::Str(self.scenario.clone()));
+        table.set("spec_digest", Value::Str(digest_hex(self.spec_digest)));
+        table.set("digest", Value::Str(digest_hex(self.digest)));
+        table.set("params_digest", Value::Str(digest_hex(self.params_digest)));
+        table.set("steps", u64_value(self.steps));
+        table.set("accuracy", Value::Float(self.accuracy));
+        table.set("created_unix", u64_value(self.created_unix));
+        table
+    }
+
+    /// Decodes an entry written by [`StoreEntry::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on missing keys or mistyped values.
+    pub fn from_value(value: &Value) -> Result<StoreEntry, String> {
+        let table = value.as_table()?;
+        Ok(StoreEntry {
+            scenario: req(table, "scenario")?.as_str()?.to_string(),
+            spec_digest: digest_from_hex(req(table, "spec_digest")?.as_str()?)?,
+            digest: digest_from_hex(req(table, "digest")?.as_str()?)?,
+            params_digest: digest_from_hex(req(table, "params_digest")?.as_str()?)?,
+            steps: u64_from(req(table, "steps")?)?,
+            accuracy: req(table, "accuracy")?.as_f64()?,
+            created_unix: u64_from(req(table, "created_unix")?)?,
+        })
+    }
+}
+
 /// Metadata for [`Store::put`] — a [`StoreEntry`] minus the content
 /// digest, which the store computes from the bytes.
 #[derive(Clone, Debug, PartialEq)]
@@ -169,6 +203,13 @@ impl Store {
             .iter()
             .rev()
             .find(|e| e.scenario == scenario && e.spec_digest == spec_digest)
+    }
+
+    /// The newest entry whose object is `digest` — the fetch-by-digest
+    /// surface the serve protocol's host-independent `fetch` resolves
+    /// through (entries can share an object; any of them describes it).
+    pub fn find(&self, digest: u64) -> Option<&StoreEntry> {
+        self.entries.iter().rev().find(|e| e.digest == digest)
     }
 
     /// Stores a checkpoint [`Value`] tree under `meta`, returning the
@@ -333,31 +374,6 @@ impl Store {
         })
     }
 
-    fn entry_to_value(entry: &StoreEntry) -> Value {
-        let mut table = Value::table();
-        table.set("scenario", Value::Str(entry.scenario.clone()));
-        table.set("spec_digest", Value::Str(digest_hex(entry.spec_digest)));
-        table.set("digest", Value::Str(digest_hex(entry.digest)));
-        table.set("params_digest", Value::Str(digest_hex(entry.params_digest)));
-        table.set("steps", u64_value(entry.steps));
-        table.set("accuracy", Value::Float(entry.accuracy));
-        table.set("created_unix", u64_value(entry.created_unix));
-        table
-    }
-
-    fn entry_from_value(value: &Value) -> Result<StoreEntry, String> {
-        let table = value.as_table()?;
-        Ok(StoreEntry {
-            scenario: req(table, "scenario")?.as_str()?.to_string(),
-            spec_digest: digest_from_hex(req(table, "spec_digest")?.as_str()?)?,
-            digest: digest_from_hex(req(table, "digest")?.as_str()?)?,
-            params_digest: digest_from_hex(req(table, "params_digest")?.as_str()?)?,
-            steps: u64_from(req(table, "steps")?)?,
-            accuracy: req(table, "accuracy")?.as_f64()?,
-            created_unix: u64_from(req(table, "created_unix")?)?,
-        })
-    }
-
     fn entries_from_json(text: &str) -> Result<Vec<StoreEntry>, String> {
         let root = value::from_json(text)?;
         let table = root.as_table()?;
@@ -370,7 +386,7 @@ impl Store {
         req(table, "entries")?
             .as_array()?
             .iter()
-            .map(Self::entry_from_value)
+            .map(StoreEntry::from_value)
             .collect()
     }
 
@@ -379,7 +395,7 @@ impl Store {
         root.set("version", Value::Int(INDEX_VERSION));
         root.set(
             "entries",
-            Value::Array(self.entries.iter().map(Self::entry_to_value).collect()),
+            Value::Array(self.entries.iter().map(StoreEntry::to_value).collect()),
         );
         let path = self.root.join("index.json");
         let tmp = self.root.join("index.json.tmp");
@@ -512,6 +528,17 @@ mod tests {
             3,
             "accuracy tie breaks toward the newest"
         );
+    }
+
+    #[test]
+    fn find_resolves_objects_by_content_digest() {
+        let mut store = temp_store("find");
+        let digest = store.put(meta("table4-6", 100), &ckpt(1)).unwrap();
+        let found = store.find(digest).unwrap();
+        assert_eq!(found.scenario, "table4-6");
+        assert!(store.find(digest ^ 1).is_none());
+        // Value codec round trip (the form the fetch response ships).
+        assert_eq!(StoreEntry::from_value(&found.to_value()).unwrap(), *found);
     }
 
     #[test]
