@@ -34,6 +34,17 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> autocat-lint (workspace invariant checker)"
+# Deny-by-default static gates: D1 no hash-ordered collections in
+# digest/report crates, D2 no wall-clock/entropy outside bench bins, D3
+# env reads stay in the committed registry, R1 no panic paths in the
+# daemon request path, U1 every `unsafe` carries a SAFETY comment, A0
+# suppression hygiene. The allow dump first, so CI logs always show every
+# suppression and its reason; then the gate itself (exits nonzero on any
+# unsuppressed violation).
+cargo run --release -q -p autocat-lint -- --list-allows
+cargo run --release -q -p autocat-lint
+
 # ---------------------------------------------------------------------------
 # End-to-end smoke gates: regressions on the *training path* (env, rollout,
 # sharded PPO update, checkpointing, report pipeline) must fail CI, not just

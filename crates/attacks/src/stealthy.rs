@@ -16,7 +16,7 @@
 
 use crate::lru::{measure, run_iteration, LruIteration};
 use autocat_cache::{Cache, CacheConfig, Domain, PolicyKind};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A StealthyStreamline channel over one cache set.
 #[derive(Clone, Debug)]
@@ -100,13 +100,19 @@ impl StealthyStreamline {
     /// Calibrates the decode table: maps each measured hit/miss signature
     /// to the symbol that produced it. Runs each symbol in steady state
     /// (two warm-up iterations) like a real calibration phase.
-    pub fn calibrate(&self) -> HashMap<Vec<bool>, u64> {
+    ///
+    /// The table is a `BTreeMap` (lint rule D1): error rates derived from
+    /// it land in reports, so its behaviour must never depend on hash
+    /// order — and signature collisions must resolve to the *lowest*
+    /// symbol deterministically, which `entry().or_insert()` under
+    /// ascending symbol order guarantees.
+    pub fn calibrate(&self) -> BTreeMap<Vec<bool>, u64> {
         // The measurement pass itself re-touches every symbol line in
         // order, which drives the set into a canonical state — so one
         // warm-up iteration *followed by a discarded measurement* puts the
         // calibration cache in exactly the state every mid-stream iteration
         // starts from, making the signatures context-free.
-        let mut table = HashMap::new();
+        let mut table = BTreeMap::new();
         for symbol in 0..(1u64 << self.bits) {
             let mut cache = self.fresh_cache();
             run_iteration(&mut cache, &self.iteration, Some(0));

@@ -10,7 +10,7 @@
 
 use autocat_cache::{CacheEvent, Domain};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Extracts Cyclone features from a cache event log.
 ///
@@ -74,8 +74,10 @@ impl CycloneFeatures {
     /// reverse of the previous cross-domain eviction in the same set.
     fn cyclic_marks(&self, events: &[CacheEvent]) -> Vec<usize> {
         // Per set: the last cross-domain eviction (evicted, incoming,
-        // evictor, access index).
-        let mut last: HashMap<usize, (u64, u64, Domain, usize)> = HashMap::new();
+        // evictor, access index). BTreeMap, not HashMap: this feeds SVM
+        // feature vectors and through them detection verdicts in reports,
+        // so lookups must never depend on hash order (lint rule D1).
+        let mut last: BTreeMap<usize, (u64, u64, Domain, usize)> = BTreeMap::new();
         let mut marks = Vec::new();
         let mut access_idx = 0usize;
         for ev in events {

@@ -1,0 +1,257 @@
+//! A line-level Rust lexer: separates each source line into bare code,
+//! comment text, and string-literal contents.
+//!
+//! This is deliberately **not** a parser — the linter runs offline with no
+//! dependencies (no `syn`), so rules work on token-level facts that a
+//! hand-rolled scanner can establish reliably:
+//!
+//! - **code** with every comment removed and every string/char literal
+//!   blanked to its bare quotes, so a rule matching `HashMap` or `unsafe`
+//!   can never be fooled by a doc comment or a log message;
+//! - **comment** text per line, so the `// SAFETY:` audit (rule U1) and
+//!   the `// lint: allow(...)` suppression syntax can be read back;
+//! - **string** literal contents in order of appearance, so the env-var
+//!   registry check (rule D3) can recover the name inside
+//!   `std::env::var("...")` even though code is blanked.
+//!
+//! The scanner understands line comments, nested block comments, plain and
+//! raw (`r#"..."#`) strings, byte strings, char/byte-char literals, and
+//! the char-literal-vs-lifetime ambiguity (`'a'` vs `&'a str`).
+
+/// One source line, split into the three channels rules consume.
+#[derive(Debug, Default, Clone)]
+pub struct LexedLine {
+    /// The line's code with comments removed and literal contents blanked.
+    /// Each string literal leaves exactly its delimiting quotes behind.
+    pub code: String,
+    /// Concatenated text of every comment (segment) on the line, including
+    /// the `//`/`/*` markers.
+    pub comment: String,
+    /// Contents of string literals, in order. A literal spanning lines is
+    /// recorded on the line where it closes.
+    pub strings: Vec<String>,
+}
+
+enum State {
+    /// Plain code.
+    Code,
+    /// Inside a block comment at the given nesting depth.
+    Block(u32),
+    /// Inside a string literal; `hashes` is `Some(n)` for a raw string
+    /// delimited by `"` plus `n` `#`s (raw strings have no escapes).
+    Str { hashes: Option<u32> },
+}
+
+/// Splits `source` into per-line code/comment/string channels.
+pub fn lex(source: &str) -> Vec<LexedLine> {
+    let chars: Vec<char> = source.chars().collect();
+    let n = chars.len();
+    let mut lines = Vec::new();
+    let mut line = LexedLine::default();
+    let mut cur_str = String::new();
+    let mut state = State::Code;
+    let mut i = 0;
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(std::mem::take(&mut line));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                // Comments.
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    while i < n && chars[i] != '\n' {
+                        line.comment.push(chars[i]);
+                        i += 1;
+                    }
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    line.comment.push_str("/*");
+                    i += 2;
+                    state = State::Block(1);
+                    continue;
+                }
+                // Raw / byte string prefixes. `b` alone may also prefix a
+                // byte-char literal, which the generic `'` arm handles.
+                if c == 'r' || c == 'b' {
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let is_raw = j > i + 1 || c == 'r';
+                    let mut hashes = 0u32;
+                    while is_raw && chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') && (is_raw || c == 'b') {
+                        line.code.push('"');
+                        i = j + 1;
+                        state = State::Str {
+                            hashes: is_raw.then_some(hashes),
+                        };
+                        continue;
+                    }
+                    // Not a literal prefix after all: plain identifier char.
+                    line.code.push(c);
+                    i += 1;
+                    continue;
+                }
+                if c == '"' {
+                    line.code.push('"');
+                    i += 1;
+                    state = State::Str { hashes: None };
+                    continue;
+                }
+                // Char literal vs lifetime.
+                if c == '\'' {
+                    if chars.get(i + 1) == Some(&'\\')
+                        || (chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\''))
+                    {
+                        // A char literal: blank its contents.
+                        line.code.push_str("''");
+                        let mut j = i + 1;
+                        while j < n {
+                            match chars[j] {
+                                '\\' => j += 2,
+                                '\'' => break,
+                                _ => j += 1,
+                            }
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                    // A lifetime (or stray quote): keep as code.
+                    line.code.push('\'');
+                    i += 1;
+                    continue;
+                }
+                line.code.push(c);
+                i += 1;
+            }
+            State::Block(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    line.comment.push_str("*/");
+                    i += 2;
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    line.comment.push_str("/*");
+                    i += 2;
+                    state = State::Block(depth + 1);
+                } else {
+                    line.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str { hashes } => match hashes {
+                None => {
+                    if c == '\\' {
+                        if let Some(&esc) = chars.get(i + 1) {
+                            cur_str.push(esc);
+                        }
+                        i += 2;
+                    } else if c == '"' {
+                        line.code.push('"');
+                        line.strings.push(std::mem::take(&mut cur_str));
+                        i += 1;
+                        state = State::Code;
+                    } else {
+                        cur_str.push(c);
+                        i += 1;
+                    }
+                }
+                Some(h) => {
+                    let closes =
+                        c == '"' && (0..h as usize).all(|k| chars.get(i + 1 + k) == Some(&'#'));
+                    if closes {
+                        line.code.push('"');
+                        line.strings.push(std::mem::take(&mut cur_str));
+                        i += 1 + h as usize;
+                        state = State::Code;
+                    } else {
+                        cur_str.push(c);
+                        i += 1;
+                    }
+                }
+            },
+        }
+    }
+    // A trailing line without a final newline still counts.
+    if !line.code.is_empty() || !line.comment.is_empty() || !line.strings.is_empty() {
+        lines.push(line);
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped_but_kept() {
+        let lines = lex("let x = 1; // unsafe HashMap\n");
+        assert_eq!(lines[0].code, "let x = 1; ");
+        assert_eq!(lines[0].comment, "// unsafe HashMap");
+    }
+
+    #[test]
+    fn nested_block_comments_span_lines() {
+        let lines = lex("a /* one /* two */ still */ b\nc /* open\nunsafe\n*/ d\n");
+        assert_eq!(lines[0].code, "a  b");
+        assert_eq!(lines[1].code, "c ");
+        assert_eq!(lines[2].code, "");
+        assert_eq!(lines[2].comment, "unsafe");
+        assert_eq!(lines[3].code, " d");
+    }
+
+    #[test]
+    fn strings_are_blanked_and_recorded() {
+        let lines = lex("env::var(\"SIMD_TIER\") + \"unsafe { }\"\n");
+        assert_eq!(lines[0].code, "env::var(\"\") + \"\"");
+        assert_eq!(lines[0].strings, vec!["SIMD_TIER", "unsafe { }"]);
+    }
+
+    #[test]
+    fn escapes_do_not_terminate_strings() {
+        let lines = lex(r#"let s = "a\"b"; done"#);
+        assert_eq!(lines[0].code, "let s = \"\"; done");
+        assert_eq!(lines[0].strings, vec!["a\"b"]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let lines = lex("r#\"raw \"quoted\" unsafe\"# b\"bytes\" br#\"both\"#\n");
+        assert_eq!(lines[0].code, "\"\" \"\" \"\"");
+        assert_eq!(
+            lines[0].strings,
+            vec!["raw \"quoted\" unsafe", "bytes", "both"]
+        );
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        assert_eq!(
+            code_of("let c = '{'; let e = '\\''; fn f<'a>(x: &'a str) {}\n")[0],
+            "let c = ''; let e = ''; fn f<'a>(x: &'a str) {}"
+        );
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_are_content() {
+        let lines = lex("let s = \"// not a comment\"; real()\n");
+        assert_eq!(lines[0].code, "let s = \"\"; real()");
+        assert!(lines[0].comment.is_empty());
+    }
+}

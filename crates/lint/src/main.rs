@@ -1,0 +1,112 @@
+//! The `autocat-lint` CLI: runs the invariant checker over the workspace
+//! and exits nonzero on any unsuppressed violation.
+//!
+//! ```text
+//! autocat-lint [--root DIR] [--list-allows] [--rules]
+//! ```
+//!
+//! With no flags: scan, print `file:line rule message` per violation,
+//! exit 1 if any. `--list-allows` prints every `lint: allow` suppression
+//! with its reason (the CI audit dump). `--rules` prints the registry.
+
+use autocat_lint::{engine, rules};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: autocat-lint [--root DIR] [--list-allows] [--rules]");
+    std::process::exit(2);
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+fn find_workspace_root(start: PathBuf) -> Result<PathBuf, String> {
+    let mut dir = start.clone();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(format!(
+                "no workspace root found above {} (pass --root)",
+                start.display()
+            ));
+        }
+    }
+}
+
+fn main() {
+    let mut root: Option<PathBuf> = None;
+    let mut list_allows = false;
+    let mut list_rules = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => usage(),
+            },
+            "--list-allows" => list_allows = true,
+            "--rules" => list_rules = true,
+            _ => usage(),
+        }
+    }
+
+    if list_rules {
+        for rule in rules::ALL_RULES {
+            println!("{}  {}", rule.id(), rule.describe());
+        }
+        return;
+    }
+
+    let root = root.unwrap_or_else(|| {
+        let cwd = std::env::current_dir()
+            .map_err(|e| format!("getting current dir: {e}"))
+            .unwrap_or_else(|e| {
+                eprintln!("autocat-lint: {e}");
+                std::process::exit(2);
+            });
+        find_workspace_root(cwd).unwrap_or_else(|e| {
+            eprintln!("autocat-lint: {e}");
+            std::process::exit(2);
+        })
+    });
+
+    let report = engine::run(&root).unwrap_or_else(|e| {
+        eprintln!("autocat-lint: {e}");
+        std::process::exit(2);
+    });
+
+    if list_allows {
+        print!("{}", engine::render_allows(&report));
+        println!(
+            "autocat-lint: {} suppression(s) across {} file(s)",
+            report.allows.len(),
+            report.files
+        );
+        // Stale suppressions still fail the gate below when run without
+        // --list-allows; the listing itself is informational.
+        return;
+    }
+
+    for finding in &report.findings {
+        println!("{}", finding.render());
+    }
+    if report.findings.is_empty() {
+        println!(
+            "autocat-lint: clean — {} file(s), {} rule(s), {} suppression(s)",
+            report.files,
+            rules::ALL_RULES.len(),
+            report.allows.len()
+        );
+    } else {
+        println!(
+            "autocat-lint: {} violation(s) in {} file(s) scanned",
+            report.findings.len(),
+            report.files
+        );
+        std::process::exit(1);
+    }
+}

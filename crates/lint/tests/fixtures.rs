@@ -1,0 +1,110 @@
+//! The fixture-corpus self-test: every rule must fire on its seeded
+//! positive case, stay quiet on its negative twin, and the rendered
+//! findings must match the committed golden (`tests/fixtures/expected.txt`,
+//! re-blessed with `LINT_BLESS=1`). The live workspace itself must scan
+//! clean — the same gate `ci.sh` holds, enforced from `cargo test` too.
+
+use autocat_lint::engine::{self, Report};
+use autocat_lint::rules::ALL_RULES;
+use std::path::PathBuf;
+
+fn manifest_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn corpus() -> Report {
+    engine::run(&manifest_dir().join("tests/fixtures")).expect("fixture corpus scans")
+}
+
+fn rendered(report: &Report) -> String {
+    let mut out = String::new();
+    for finding in &report.findings {
+        out.push_str(&finding.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn corpus_matches_golden() {
+    let got = rendered(&corpus());
+    let golden = manifest_dir().join("tests/fixtures/expected.txt");
+    if std::env::var("LINT_BLESS").is_ok() {
+        std::fs::write(&golden, &got).expect("writing golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden).expect("golden exists (LINT_BLESS=1 to create it)");
+    assert_eq!(
+        got, want,
+        "fixture findings drifted from the golden; rerun with LINT_BLESS=1 and review the diff"
+    );
+}
+
+#[test]
+fn every_rule_fires_on_its_positive_fixture() {
+    let report = corpus();
+    for rule in ALL_RULES {
+        assert!(
+            report.findings.iter().any(|f| f.rule == *rule),
+            "rule {} detected nothing in the fixture corpus",
+            rule.id()
+        );
+    }
+}
+
+#[test]
+fn negative_fixtures_and_skipped_vendor_stay_clean() {
+    let report = corpus();
+    for finding in &report.findings {
+        assert!(
+            !finding.path.contains("_neg"),
+            "negative fixture flagged: {}",
+            finding.render()
+        );
+        assert!(
+            !finding.path.starts_with("vendor/rand"),
+            "skipped vendor shim flagged: {}",
+            finding.render()
+        );
+    }
+    // The one scanned vendor crate must surface its seeded violation.
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.path == "vendor/simd/src/lib.rs"),
+        "vendor/simd escaped the scan"
+    );
+}
+
+#[test]
+fn used_suppressions_consume_their_findings() {
+    let report = corpus();
+    let allow = report
+        .allows
+        .iter()
+        .find(|a| a.path.ends_with("a0_cases.rs") && a.line == 3)
+        .expect("the import-line allow parses");
+    assert!(allow.used, "valid suppression not credited");
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.path.ends_with("a0_cases.rs") && f.line == 3),
+        "suppressed finding still reported"
+    );
+    let dump = engine::render_allows(&report);
+    assert!(dump.contains("scratch map, never serialized"));
+    assert!(dump.contains("[UNUSED]"), "stale allow missing from dump");
+}
+
+#[test]
+fn live_workspace_scans_clean() {
+    let root = manifest_dir().join("../..");
+    let report = engine::run(&root).expect("workspace scans");
+    assert!(
+        report.findings.is_empty(),
+        "live workspace has lint violations:\n{}",
+        rendered(&report)
+    );
+}

@@ -1,0 +1,7 @@
+//! Wall-clock timing in a bench bin is the point (D2 negative case).
+
+pub fn wall_time<R>(f: impl FnOnce() -> R) -> (R, std::time::Duration) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}

@@ -1,0 +1,7 @@
+//! HashMap outside the digest-path crates is allowed (D1 negative case).
+
+use std::collections::HashMap;
+
+pub fn scratch() -> HashMap<String, usize> {
+    HashMap::new()
+}

@@ -1,0 +1,14 @@
+//! Seeded D1 violations: hash-ordered collections in a digest-path crate.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn histogram(values: &[u64]) -> HashMap<u64, usize> {
+    let mut out = HashMap::new();
+    let mut seen = HashSet::new();
+    for &v in values {
+        *out.entry(v).or_insert(0) += 1;
+        seen.insert(v);
+    }
+    out
+}

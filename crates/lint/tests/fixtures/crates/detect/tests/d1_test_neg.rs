@@ -1,0 +1,10 @@
+//! Test files in digest-path crates are D1-exempt (negative case).
+
+use std::collections::HashMap;
+
+#[test]
+fn scratch_maps_are_fine_in_tests() {
+    let mut m = HashMap::new();
+    m.insert(1, 2);
+    assert_eq!(m.len(), 1);
+}

@@ -1,0 +1,14 @@
+//! Every SAFETY comment form the engine accepts (U1 negative case).
+
+pub fn first(values: &[f32]) -> f32 {
+    // SAFETY: callers guarantee `values` is non-empty.
+    unsafe { *values.get_unchecked(0) }
+}
+
+pub fn second(values: &[f32]) -> f32 {
+    unsafe { *values.get_unchecked(1) } // SAFETY: caller guarantees len >= 2
+}
+
+// SAFETY: a no-op; exists to exercise attribute adjacency.
+#[allow(dead_code)]
+unsafe fn with_attr() {}

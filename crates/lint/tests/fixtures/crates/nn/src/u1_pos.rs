@@ -1,0 +1,5 @@
+//! Seeded U1 violation: `unsafe` without its SAFETY audit comment.
+
+pub fn first(values: &[f32]) -> f32 {
+    unsafe { *values.get_unchecked(0) }
+}

@@ -1,0 +1,13 @@
+//! Suppression hygiene cases: used, malformed, and stale allows.
+
+use std::collections::HashMap; // lint: allow(D1) -- fixture: scratch map, never serialized
+
+// lint: allow(D1)
+pub fn malformed_reasonless() {}
+
+// lint: allow(D2) -- nothing on the next line uses wall-clock
+pub fn stale() {}
+
+pub fn scratch() -> HashMap<u8, u8> { // lint: allow(D1) -- fixture: local only
+    HashMap::new() // lint: allow(D1) -- fixture: local only
+}

@@ -1,0 +1,5 @@
+//! Files off the request path may unwrap (R1 negative case).
+
+pub fn parse_port(text: &str) -> u16 {
+    text.parse().unwrap()
+}

@@ -1,0 +1,26 @@
+//! Seeded R1 violations: panic paths in the daemon request path.
+
+pub fn handle(input: Option<&str>) -> String {
+    let value = input.unwrap();
+    if value.is_empty() {
+        panic!("empty request");
+    }
+    match value.parse::<u64>() {
+        Ok(n) => n.to_string(),
+        Err(e) => unreachable!("parse failure: {e}"),
+    }
+}
+
+pub fn must(text: &str) -> u64 {
+    text.parse().expect("caller checked")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::handle(Some("7")), "7");
+        let n: u64 = "9".parse().unwrap();
+        assert_eq!(n, 9);
+    }
+}

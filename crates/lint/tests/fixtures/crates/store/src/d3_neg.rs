@@ -1,0 +1,9 @@
+//! Registered reads and `env::vars()` iteration are fine (D3 negative).
+
+pub fn tier() -> Option<String> {
+    std::env::var("SIMD_TIER").ok()
+}
+
+pub fn count() -> usize {
+    std::env::vars().count()
+}

@@ -1,0 +1,11 @@
+//! Seeded D3 violations: env reads outside the committed registry.
+
+pub fn config() -> (Option<String>, Option<std::ffi::OsString>) {
+    let a = std::env::var("FIXTURE_NOT_IN_REGISTRY").ok();
+    let b = std::env::var_os("FIXTURE_ALSO_MISSING");
+    (a, b)
+}
+
+pub fn dynamic(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}

@@ -1,0 +1,10 @@
+//! Vendored shim: skipped by the walker — these seeded violations must
+//! never surface in the corpus golden.
+
+use std::collections::HashMap;
+
+pub fn thread_rng() -> u64 {
+    let mut m = HashMap::new();
+    m.insert(0u8, 0u8);
+    0
+}

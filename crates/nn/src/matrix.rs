@@ -638,11 +638,16 @@ macro_rules! tiered_kernel {
         fn $dispatch($($arg: $ty),*) {
             #[cfg(all(target_arch = "x86_64", not(feature = "scalar-fallback")))]
             {
+                // SAFETY: unsafe only because of `#[target_feature]` — the
+                // body is safe code; callers must guarantee AVX/AVX2 are
+                // available (the dispatch below does, via CPUID).
                 #[target_feature(enable = "avx,avx2")]
                 #[allow(clippy::too_many_arguments)]
                 unsafe fn avx2($($arg: $ty),*) {
                     $body::<simd::Avx2Isa>($($arg),*)
                 }
+                // SAFETY: as for `avx2`, with AVX-512F/VL additionally
+                // required of the caller.
                 #[target_feature(enable = "avx,avx2,avx512f,avx512vl")]
                 #[allow(clippy::too_many_arguments)]
                 unsafe fn avx512($($arg: $ty),*) {
@@ -653,6 +658,7 @@ macro_rules! tiered_kernel {
                     // runtime CPUID detection (forced tiers re-assert
                     // detection), so the enabled features are present.
                     simd::Tier::Avx2 => return unsafe { avx2($($arg),*) },
+                    // SAFETY: same detection argument, AVX-512 tier.
                     simd::Tier::Avx512 => return unsafe { avx512($($arg),*) },
                     simd::Tier::Scalar => {}
                 }

@@ -52,6 +52,7 @@ pub use autocat_nn::value;
 
 use autocat::{ExplorationReport, Explorer};
 use autocat_gym::{CacheGuessingGame, EnvConfig};
+use autocat_nn::value::Value;
 use autocat_ppo::{Backbone, PpoConfig};
 use std::path::Path;
 
@@ -179,6 +180,13 @@ impl Scenario {
     /// Serializes the scenario as JSON.
     pub fn to_json(&self) -> String {
         value::to_json(&encode::scenario_to_value(self))
+    }
+
+    /// Encodes the scenario as a [`Value`] table (the structure `to_toml`
+    /// and `to_json` serialize). Lets embedders splice a scenario into a
+    /// larger document without a serialize/re-parse round trip.
+    pub fn to_value(&self) -> Value {
+        encode::scenario_to_value(self)
     }
 
     /// Parses a scenario from TOML text.

@@ -3,6 +3,12 @@
 //! subcommands ([`cmd`]). The binary (`src/main.rs`) is a flag parser
 //! over this crate; the integration tests drive the same public surface.
 
+// The compiler-level half of lint rule R1 (autocat-lint covers the rest:
+// expect/panic!/unreachable! in the request path): no unwrap in shipped
+// serve code — a panic in a connection or worker thread must never be
+// how an error surfaces.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod client;
 pub mod cmd;
 pub mod proto;

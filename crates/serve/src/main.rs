@@ -23,6 +23,9 @@
 //! queue-only daemon: submissions are accepted and journaled but not
 //! trained until a daemon with workers reopens the same store.
 
+// See lib.rs: the compiler-level half of lint rule R1.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use autocat_bench::cli::TrainOverrides;
 use autocat_serve::{cmd, server};
 

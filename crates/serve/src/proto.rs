@@ -510,9 +510,7 @@ impl Request {
                         table.set("scenario", Value::Str(name.clone()));
                     }
                     JobSource::Inline(scenario) => {
-                        let inline = value::from_json(&scenario.to_json())
-                            .expect("scenario JSON is always valid");
-                        table.set("inline", inline);
+                        table.set("inline", scenario.to_value());
                     }
                 }
                 let overrides = overrides.to_value();

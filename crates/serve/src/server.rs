@@ -66,7 +66,7 @@ use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Journal kind tag for the job table.
 pub const JOURNAL_KIND: &str = "autocat-jobs";
@@ -113,7 +113,22 @@ struct Shared {
 // Lock order: `jobs` may be held while taking `store` or `journal`;
 // never the reverse.
 
+/// Locks a mutex, recovering from poisoning. Every transition the guarded
+/// state can make is journaled first, so the inner value is consistent
+/// even if a panicking thread poisoned the lock — continuing beats
+/// cascading the panic through every request handler (lint rule R1: no
+/// panics in the daemon request path).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock`].
+fn wait<'a, T>(signal: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    signal.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
 fn now_unix() -> u64 {
+    // lint: allow(D2) -- store-entry `created_unix` is gc metadata, never digested
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -128,10 +143,7 @@ fn submit_record(status: &JobStatus, scenario: &Scenario) -> Value {
     let mut record = Value::table();
     record.set("op", Value::Str("submit".into()));
     record.set("status", status.to_value());
-    record.set(
-        "scenario",
-        value::from_json(&scenario.to_json()).expect("scenario JSON is always valid"),
-    );
+    record.set("scenario", scenario.to_value());
     record
 }
 
@@ -142,19 +154,13 @@ fn running_record(job: u64) -> Value {
     record
 }
 
-fn terminal_record(status: &JobStatus) -> Value {
+/// Builds the terminal journal record. `op` is `"done"` or `"failed"`,
+/// passed explicitly by the caller that just set the matching state —
+/// deriving it from `status.state` would need a panicking arm for live
+/// states (lint rule R1).
+fn terminal_record(op: &'static str, status: &JobStatus) -> Value {
     let mut record = Value::table();
-    record.set(
-        "op",
-        Value::Str(
-            match status.state {
-                JobState::Done => "done",
-                JobState::Failed => "failed",
-                _ => unreachable!("terminal record for a live job"),
-            }
-            .into(),
-        ),
-    );
+    record.set("op", Value::Str(op.into()));
     record.set("status", status.to_value());
     record
 }
@@ -293,7 +299,7 @@ fn worker_loop(shared: &Shared) {
         // Claim the highest-priority queued job (FIFO within a priority),
         // or sleep until signaled.
         let claimed = {
-            let mut jobs = shared.jobs.lock().expect("job table poisoned");
+            let mut jobs = lock(&shared.jobs);
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -306,31 +312,30 @@ fn worker_loop(shared: &Shared) {
                     job.status.state = JobState::Running;
                     let claim = (job.status.job, job.scenario.clone());
                     // jobs → journal is the sanctioned lock order.
-                    if let Ok(mut journal) = shared.journal.lock() {
-                        if let Err(e) = journal.append(&running_record(claim.0)) {
-                            eprintln!("autocat-serve: journal: {e}");
-                        }
+                    if let Err(e) = lock(&shared.journal).append(&running_record(claim.0)) {
+                        eprintln!("autocat-serve: journal: {e}");
                     }
                     break claim;
                 }
-                jobs = shared.signal.wait(jobs).expect("job table poisoned");
+                jobs = wait(&shared.signal, jobs);
             }
         };
         let (id, scenario) = claimed;
         let result = run_job(shared, id, &scenario);
         {
-            let mut jobs = shared.jobs.lock().expect("job table poisoned");
-            let job = jobs
-                .iter_mut()
-                .find(|j| j.status.job == id)
-                .expect("claimed job vanished");
-            match result {
-                Ok(()) => {}
-                Err(e) => {
-                    job.status.state = JobState::Failed;
-                    job.status.error = Some(e);
-                    if let Ok(mut journal) = shared.journal.lock() {
-                        if let Err(e) = journal.append(&terminal_record(&job.status)) {
+            let mut jobs = lock(&shared.jobs);
+            match jobs.iter_mut().find(|j| j.status.job == id) {
+                // Jobs are never removed from the table, so a vanished
+                // claim means corruption elsewhere; log and keep serving
+                // the remaining jobs rather than killing the worker.
+                None => eprintln!("autocat-serve: claimed job {id} vanished from the table"),
+                Some(job) => {
+                    if let Err(e) = result {
+                        job.status.state = JobState::Failed;
+                        job.status.error = Some(e);
+                        if let Err(e) =
+                            lock(&shared.journal).append(&terminal_record("failed", &job.status))
+                        {
                             eprintln!("autocat-serve: journal: {e}");
                         }
                     }
@@ -363,7 +368,7 @@ fn run_job(shared: &Shared, id: u64, scenario: &Scenario) -> Result<(), String> 
     let (_, net, _) = trainer.parts_mut();
     let params = params_digest(net);
 
-    let digest = shared.store.lock().expect("store poisoned").put_bytes(
+    let digest = lock(&shared.store).put_bytes(
         EntryMeta {
             scenario: scenario.name.clone(),
             spec_digest: spec,
@@ -375,7 +380,7 @@ fn run_job(shared: &Shared, id: u64, scenario: &Scenario) -> Result<(), String> 
         &bytes,
     )?;
 
-    let mut jobs = shared.jobs.lock().expect("job table poisoned");
+    let mut jobs = lock(&shared.jobs);
     let job = jobs
         .iter_mut()
         .find(|j| j.status.job == id)
@@ -387,10 +392,8 @@ fn run_job(shared: &Shared, id: u64, scenario: &Scenario) -> Result<(), String> 
     job.status.params_digest = Some(params);
     job.status.eval_digest = Some(stats.digest());
     job.status.accuracy = Some(row.accuracy());
-    if let Ok(mut journal) = shared.journal.lock() {
-        if let Err(e) = journal.append(&terminal_record(&job.status)) {
-            eprintln!("autocat-serve: journal: {e}");
-        }
+    if let Err(e) = lock(&shared.journal).append(&terminal_record("done", &job.status)) {
+        eprintln!("autocat-serve: journal: {e}");
     }
     Ok(())
 }
@@ -528,7 +531,7 @@ fn submit(
         .map_err(|e| fault(ErrorKind::BadRequest, e))?;
     let spec = spec_digest(&scenario);
 
-    let mut jobs = shared.jobs.lock().expect("job table poisoned");
+    let mut jobs = lock(&shared.jobs);
     // Dedup: attach to a live (queued/running) job with the same spec...
     if let Some(job) = jobs.iter().rev().find(|j| {
         j.status.spec_digest == spec
@@ -547,14 +550,10 @@ fn submit(
         .rev()
         .find(|j| j.status.spec_digest == spec && j.status.state == JobState::Done)
     {
-        let alive = job.status.digest.is_some_and(|digest| {
-            shared
-                .store
-                .lock()
-                .expect("store poisoned")
-                .find(digest)
-                .is_some()
-        });
+        let alive = job
+            .status
+            .digest
+            .is_some_and(|digest| lock(&shared.store).find(digest).is_some());
         if alive {
             return Ok(Response::Submitted {
                 job: job.status.job,
@@ -581,10 +580,7 @@ fn submit(
     };
     // Journal before acknowledging: once the client hears an id, the job
     // must survive any crash.
-    shared
-        .journal
-        .lock()
-        .expect("journal poisoned")
+    lock(&shared.journal)
         .append(&submit_record(&status, &scenario))
         .map_err(|e| fault(ErrorKind::Internal, e))?;
     jobs.push(Job {
@@ -603,7 +599,7 @@ fn submit(
 }
 
 fn status(shared: &Shared, job: Option<u64>) -> Result<Response, Fault> {
-    let jobs = shared.jobs.lock().expect("job table poisoned");
+    let jobs = lock(&shared.jobs);
     let selected = match job {
         Some(id) => {
             let job = jobs
@@ -624,7 +620,7 @@ fn watch(shared: &Shared, id: u64, writer: &mut TcpStream) -> Result<(), Fault> 
     let mut sent = 0usize;
     loop {
         let (events, terminal) = {
-            let mut jobs = shared.jobs.lock().expect("job table poisoned");
+            let mut jobs = lock(&shared.jobs);
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return Err(fault(ErrorKind::Shutdown, "daemon shutting down"));
@@ -658,7 +654,7 @@ fn watch(shared: &Shared, id: u64, writer: &mut TcpStream) -> Result<(), Fault> 
                 if !events.is_empty() || terminal.is_some() {
                     break (events, terminal);
                 }
-                jobs = shared.signal.wait(jobs).expect("job table poisoned");
+                jobs = wait(&shared.signal, jobs);
             }
         };
         sent += events.len();
@@ -679,7 +675,7 @@ fn watch(shared: &Shared, id: u64, writer: &mut TcpStream) -> Result<(), Fault> 
 /// chunks (see the protocol docs). No server-local path crosses the wire.
 fn fetch(shared: &Shared, key: &FetchKey, writer: &mut TcpStream) -> Result<(), Fault> {
     let (entry, bytes): (StoreEntry, Vec<u8>) = {
-        let store = shared.store.lock().expect("store poisoned");
+        let store = lock(&shared.store);
         let entry = match key {
             FetchKey::Scenario { name, which } => match which {
                 Which::Best => store.best(name),
@@ -728,10 +724,7 @@ fn gc(
         policy.max_age_secs = age;
     }
     policy.keep_patterns.extend(keep.iter().cloned());
-    let stats = shared
-        .store
-        .lock()
-        .expect("store poisoned")
+    let stats = lock(&shared.store)
         .gc(&policy, now_unix())
         .map_err(|e| fault(ErrorKind::Internal, e))?;
     Ok(Response::Gc {
@@ -779,7 +772,7 @@ mod tests {
             submit_record(&a, &scenario),
             submit_record(&b, &scenario),
             running_record(1),
-            terminal_record(&done),
+            terminal_record("done", &done),
             running_record(2), // interrupted: no terminal record
             submit_record(&c, &scenario),
         ];
